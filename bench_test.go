@@ -1,0 +1,244 @@
+package finereg
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its artifact on the
+// Quick configuration (a 4-SM machine with proportionally scaled shared
+// resources and quarter-size grids) and reports the headline number as a
+// custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation at test scale. Paper-scale runs (16
+// SMs, full grids) come from `go run ./cmd/finereg-experiments`; the
+// paper-vs-measured record lives in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"finereg/internal/experiments"
+)
+
+func quick() experiments.Options { return experiments.Quick() }
+
+// sweepOnce caches the five-configuration sweep shared by Figures 12, 13
+// and 16 so the bench binary does not repeat 90 simulations per figure.
+var sweepCache *experiments.Sweep
+
+func getSweep(b *testing.B) *experiments.Sweep {
+	b.Helper()
+	if sweepCache == nil {
+		s, err := experiments.RunSweep(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweepCache = s
+	}
+	return sweepCache
+}
+
+// BenchmarkTableII_Classification regenerates the benchmark table and its
+// Type-S/Type-R classification (Table II).
+func BenchmarkTableII_Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableII()
+		if len(r.Rows) != 18 {
+			b.Fatalf("Table II has %d rows, want 18", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkFigure2_ResourceScaling regenerates the scheduling-vs-memory
+// scaling study (Figure 2). Reported metrics are the Type-S speedup under
+// 2x scheduling and the Type-R speedup under 2x memory.
+func BenchmarkFigure2_ResourceScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TypeSMean[1], "typeS-sched2x")
+		b.ReportMetric(r.TypeRMean[3], "typeR-mem2x")
+	}
+}
+
+// BenchmarkFigure3_CTAOverhead regenerates the per-CTA overhead figure.
+func BenchmarkFigure3_CTAOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3()
+		b.ReportMetric(r.RegShare, "reg-share")
+	}
+}
+
+// BenchmarkFigure4_CSCaseStudy regenerates the Convolution Separable case
+// study (Figure 4): Baseline / Full RF / Full RF+DRAM / Ideal.
+func BenchmarkFigure4_CSCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure4(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.NormPerf[1], "fullRF-speedup")
+		b.ReportMetric(r.NormPerf[3], "ideal-speedup")
+	}
+}
+
+// BenchmarkFigure5_RegisterUsage regenerates the register-usage-window
+// study (Figure 5); the paper reports a 55.3% suite mean.
+func BenchmarkFigure5_RegisterUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MeanUsage, "mean-usage-%")
+	}
+}
+
+// BenchmarkTableIII_StallLatency regenerates the CTA time-to-full-stall
+// table (Table III).
+func BenchmarkTableIII_StallLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableIII(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Cycles["SG"], "SG-cycles")
+		b.ReportMetric(r.Cycles["BF"], "BF-cycles")
+	}
+}
+
+// BenchmarkFigure12_ConcurrentCTAs regenerates the concurrent-CTA
+// comparison (Figure 12); the paper reports FineReg running ~2.4x the
+// baseline's CTAs.
+func BenchmarkFigure12_ConcurrentCTAs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure12(getSweep(b))
+		b.ReportMetric(r.Mean[experiments.CfgFineReg][0], "finereg-cta-ratio")
+		b.ReportMetric(r.Mean[experiments.CfgVT][0], "vt-cta-ratio")
+	}
+}
+
+// BenchmarkFigure13_IPC regenerates the normalized-performance comparison
+// (Figure 13); the paper reports FineReg at +32.8% over the baseline.
+func BenchmarkFigure13_IPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure13(getSweep(b))
+		b.ReportMetric(r.Mean[experiments.CfgFineReg][0], "finereg-speedup")
+		b.ReportMetric(r.Mean[experiments.CfgRegMutex][0], "regmutex-speedup")
+		b.ReportMetric(r.Mean[experiments.CfgVT][0], "vt-speedup")
+	}
+}
+
+// BenchmarkFigure14_DepletionStalls regenerates the SRP-ratio sweep and
+// register-depletion stall comparison (Figure 14).
+func BenchmarkFigure14_DepletionStalls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure14(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.MeanSRP, "mean-srp-%")
+		var rm, fr float64
+		for _, bench := range experiments.MemIntensive {
+			rm += r.StallFrac[bench][0]
+			fr += r.StallFrac[bench][1]
+		}
+		b.ReportMetric(100*rm/3, "regmutex-stall-%")
+		b.ReportMetric(100*fr/3, "finereg-stall-%")
+	}
+}
+
+// BenchmarkFigure15_MemoryTraffic regenerates the off-chip traffic
+// comparison (Figure 15).
+func BenchmarkFigure15_MemoryTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure15(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Traffic["FD"][experiments.CfgRegDRAM], "FD-regdram-traffic")
+		b.ReportMetric(r.Traffic["FD"][experiments.CfgFineReg], "FD-finereg-traffic")
+	}
+}
+
+// BenchmarkFigure16_Energy regenerates the energy comparison (Figure 16);
+// the paper reports FineReg using 21.3% less energy than the baseline.
+func BenchmarkFigure16_Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure16(getSweep(b))
+		b.ReportMetric(r.Norm[experiments.CfgFineReg], "finereg-energy")
+		b.ReportMetric(r.Norm[experiments.CfgVT], "vt-energy")
+	}
+}
+
+// BenchmarkFigure17_SplitSensitivity regenerates the ACRF/PCRF partition
+// sweep (Figure 17); the paper finds the balanced 128KB/128KB split best.
+func BenchmarkFigure17_SplitSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure17(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := r.Splits[r.Best()]
+		b.ReportMetric(float64(best.ACRF), "best-acrf-KB")
+		b.ReportMetric(r.NormPerf[2], "128-128-speedup")
+	}
+}
+
+// BenchmarkFigure18_SMScaling regenerates the SM-count scaling study
+// (Figure 18) at bench-friendly machine sizes.
+func BenchmarkFigure18_SMScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure18(quick(), []int{4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.FineRegSpeedup, "finereg-speedup")
+		b.ReportMetric(last.OverheadMB, "resource-overhead-MB")
+	}
+}
+
+// BenchmarkFigure19_UnifiedMemory regenerates the unified on-chip memory
+// study (Figure 19).
+func BenchmarkFigure19_UnifiedMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure19(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Mean[0], "um-speedup")
+		b.ReportMetric(r.Mean[2], "finereg-um-speedup")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (simulated
+// cycles per wall-clock second) on one representative kernel — the cost of
+// the substrate itself rather than a paper artifact.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := ScaledConfig(4)
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m, err := RunBenchmark(cfg, "CS", 256, FineReg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += m.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkAblations regenerates the design-choice ablation study
+// (DESIGN.md §7): live compaction off, cold bit-vector cache, LRR
+// scheduling — each relative to the full FineReg design.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablations(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Norm[1], "no-compaction-rel")
+		b.ReportMetric(r.Norm[2], "cold-bitvec-rel")
+		b.ReportMetric(r.Norm[3], "lrr-rel")
+	}
+}

@@ -1,0 +1,121 @@
+// finereg-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	finereg-experiments [-only t2,f2,f3,f4,f5,t3,f12,f13,f14,f15,f16,f17,f18,f19,abl]
+//	                    [-sms 16] [-grid-scale 1.0] [-quick]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"finereg/internal/experiments"
+)
+
+func main() {
+	var (
+		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		sms       = flag.Int("sms", 16, "number of SMs")
+		gridScale = flag.Float64("grid-scale", 1.0, "workload grid scale")
+		quick     = flag.Bool("quick", false, "use the 4-SM quick configuration")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{SMs: *sms, GridScale: *gridScale}
+	if *quick {
+		opts = experiments.Quick()
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	var sweep *experiments.Sweep
+	getSweep := func() *experiments.Sweep {
+		if sweep == nil {
+			var err error
+			sweep, err = experiments.RunSweep(opts)
+			check(err)
+		}
+		return sweep
+	}
+
+	run := func(id, title string, f func() (interface{ Render() string }, error)) {
+		if !selected(id) {
+			return
+		}
+		start := time.Now()
+		r, err := f()
+		check(err)
+		fmt.Printf("==== %s (%s) ====\n%s\n", id, title, r.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+
+	run("t2", "Table II: benchmark classification", func() (interface{ Render() string }, error) {
+		return experiments.TableII(), nil
+	})
+	run("f2", "Figure 2: resource scaling", func() (interface{ Render() string }, error) {
+		return experiments.Figure2(opts)
+	})
+	run("f3", "Figure 3: per-CTA overhead", func() (interface{ Render() string }, error) {
+		return experiments.Figure3(), nil
+	})
+	run("f4", "Figure 4: CS case study", func() (interface{ Render() string }, error) {
+		return experiments.Figure4(opts)
+	})
+	run("f5", "Figure 5: register usage windows", func() (interface{ Render() string }, error) {
+		return experiments.Figure5(opts)
+	})
+	run("t3", "Table III: cycles to full stall", func() (interface{ Render() string }, error) {
+		return experiments.TableIII(opts)
+	})
+	run("f12", "Figure 12: concurrent CTAs", func() (interface{ Render() string }, error) {
+		return experiments.Figure12(getSweep()), nil
+	})
+	run("f13", "Figure 13: normalized IPC", func() (interface{ Render() string }, error) {
+		return experiments.Figure13(getSweep()), nil
+	})
+	run("f14", "Figure 14: SRP ratio and depletion stalls", func() (interface{ Render() string }, error) {
+		return experiments.Figure14(opts)
+	})
+	run("f15", "Figure 15: memory traffic", func() (interface{ Render() string }, error) {
+		return experiments.Figure15(opts)
+	})
+	run("f16", "Figure 16: energy", func() (interface{ Render() string }, error) {
+		return experiments.Figure16(getSweep()), nil
+	})
+	run("f17", "Figure 17: ACRF/PCRF split sensitivity", func() (interface{ Render() string }, error) {
+		return experiments.Figure17(opts)
+	})
+	run("f18", "Figure 18: SM scaling", func() (interface{ Render() string }, error) {
+		counts := []int{16, 32, 64, 128}
+		if *quick {
+			counts = []int{4, 8, 16}
+		}
+		return experiments.Figure18(opts, counts)
+	})
+	run("f19", "Figure 19: unified on-chip memory", func() (interface{ Render() string }, error) {
+		return experiments.Figure19(opts)
+	})
+	run("abl", "Ablations: FineReg design choices", func() (interface{ Render() string }, error) {
+		return experiments.Ablations(opts)
+	})
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finereg-experiments:", err)
+		os.Exit(1)
+	}
+}

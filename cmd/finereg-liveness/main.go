@@ -1,0 +1,79 @@
+// finereg-liveness dumps the compiler-side view of a kernel: its
+// disassembly, control-flow graph, post-dominator reconvergence points,
+// and the per-PC live-register bit vectors the FineReg RMU consumes.
+//
+//	finereg-liveness [-bench CS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finereg/internal/isa"
+	"finereg/internal/kernels"
+	"finereg/internal/liveness"
+)
+
+func main() {
+	bench := flag.String("bench", "CS", "Table II benchmark abbreviation")
+	asmFile := flag.String("asm", "", "analyze an assembly file instead of a built-in benchmark")
+	emitAsm := flag.Bool("emit-asm", false, "print the kernel in assembly format and exit")
+	flag.Parse()
+
+	var prog *isa.Program
+	if *asmFile != "" {
+		text, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p, err := isa.Assemble(string(text))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog = p
+	} else {
+		prof, err := kernels.ProfileByName(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog = kernels.MustBuild(prof, 1).Prog
+	}
+	if *emitAsm {
+		fmt.Print(isa.EmitAsm(prog))
+		return
+	}
+	k := struct {
+		Prog *isa.Program
+		Live *liveness.Info
+	}{Prog: prog, Live: liveness.MustAnalyze(prog)}
+	fmt.Print(isa.Disassemble(k.Prog))
+	fmt.Println()
+
+	g, err := liveness.BuildCFG(k.Prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(g.String())
+	pdom := g.PostDominators()
+	fmt.Print("post-dominators: ")
+	for i, d := range pdom {
+		fmt.Printf("B%d->B%d ", i, d)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	info := k.Live
+	fmt.Println("per-PC live-register bit vectors (what a stalled warp must preserve):")
+	for pc := 0; pc < k.Prog.Len(); pc++ {
+		fmt.Printf("/*%04X*/ %2d live %v\n", pc*8, info.LiveCount(pc), info.At(pc))
+	}
+	fmt.Printf("\nmax live %d / mean live %.1f of %d allocated registers\n",
+		info.MaxLive(), info.MeanLive(), k.Prog.RegsPerThread)
+	fmt.Printf("off-chip bit-vector table: %d bytes (12 B x %d static instructions)\n",
+		info.BitVectorBytes(), k.Prog.Len())
+}

@@ -1,0 +1,107 @@
+// finereg-sim runs one or more Table II benchmarks under one or more GPU
+// configurations and prints per-run metrics. It is the low-level driver;
+// finereg-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	finereg-sim [-bench CS,LB | all] [-policy baseline,vt,regdram,regmutex,finereg | all]
+//	            [-sms 16] [-grid-scale 1.0] [-srp 0.25] [-dram-cap 4] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/stats"
+)
+
+func main() {
+	var (
+		benchFlag  = flag.String("bench", "all", "comma-separated benchmark abbreviations, or 'all'")
+		policyFlag = flag.String("policy", "all", "comma-separated policies: baseline,vt,regdram,regmutex,finereg, or 'all'")
+		sms        = flag.Int("sms", 16, "number of SMs (shared resources scale proportionally)")
+		gridScale  = flag.Float64("grid-scale", 0, "grid-size scale factor (default: sms/16)")
+		srp        = flag.Float64("srp", 0.25, "RegMutex SRP fraction of the register file")
+		dramCap    = flag.Int("dram-cap", 4, "Reg+DRAM off-chip pending CTAs per SM")
+		verbose    = flag.Bool("v", false, "print extended metrics")
+	)
+	flag.Parse()
+
+	cfg := gpu.Default().Scale(*sms)
+	scale := *gridScale
+	if scale == 0 {
+		scale = float64(*sms) / 16
+	}
+
+	var benches []string
+	if *benchFlag == "all" {
+		benches = kernels.Names()
+	} else {
+		benches = strings.Split(*benchFlag, ",")
+	}
+	policies := policySet(*policyFlag, *srp, *dramCap)
+
+	tbl := &stats.Table{Header: []string{"bench/policy", "IPC", "cycles", "resident", "active", "switches", "dramKB"}}
+	for _, b := range benches {
+		p, err := kernels.ProfileByName(strings.TrimSpace(b))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, pol := range policies {
+			k := kernels.MustBuild(p, int(float64(p.GridCTAs)*scale+0.5))
+			g := gpu.New(cfg, pol.factory)
+			m, err := g.Run(k)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s/%s: %v\n", b, pol.name, err)
+				os.Exit(1)
+			}
+			tbl.AddRow(fmt.Sprintf("%s/%s", p.Abbrev, pol.name),
+				m.IPC(), m.Cycles, m.AvgResidentCTAs, m.AvgActiveCTAs, m.CTASwitches, m.DRAMBytes()>>10)
+			if *verbose {
+				fmt.Printf("# %s/%s: L1 %.1f%% miss, L2 %.1f%% miss, depletion %d cyc, first-stall %.0f cyc, ctx %d KB\n",
+					p.Abbrev, pol.name, 100*m.L1MissRate(), 100*m.L2MissRate(),
+					m.RegDepletionStallCycles, m.CyclesToFirstStall, m.DRAMContextBytes>>10)
+			}
+		}
+	}
+	fmt.Print(tbl)
+}
+
+type namedPolicy struct {
+	name    string
+	factory gpu.PolicyFactory
+}
+
+func policySet(spec string, srp float64, dramCap int) []namedPolicy {
+	all := []namedPolicy{
+		{"baseline", gpu.Baseline()},
+		{"vt", gpu.VirtualThread()},
+		{"regdram", gpu.RegDRAM(dramCap)},
+		{"regmutex", gpu.VTRegMutex(srp)},
+		{"finereg", gpu.FineRegDefault()},
+	}
+	if spec == "all" {
+		return all
+	}
+	var out []namedPolicy
+	for _, want := range strings.Split(spec, ",") {
+		want = strings.TrimSpace(want)
+		found := false
+		for _, p := range all {
+			if p.name == want {
+				out = append(out, p)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", want)
+			os.Exit(1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+// Compare runs a mixed set of Table II benchmarks under all five GPU
+// configurations of the paper's evaluation and prints normalized IPC —
+// a miniature of Figure 13.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finereg"
+)
+
+func main() {
+	cfg := finereg.ScaledConfig(4)
+	benches := []string{"CS", "BI", "MC", "LB", "LI", "SG"}
+	policies := []struct {
+		name string
+		pf   finereg.PolicyFactory
+	}{
+		{"Baseline", finereg.Baseline()},
+		{"VT", finereg.VirtualThread()},
+		{"Reg+DRAM", finereg.RegDRAM(4)},
+		{"VT+RegMutex", finereg.VTRegMutex(0.2)},
+		{"FineReg", finereg.FineReg()},
+	}
+
+	fmt.Printf("%-6s", "bench")
+	for _, p := range policies {
+		fmt.Printf("%13s", p.name)
+	}
+	fmt.Println()
+	for _, b := range benches {
+		prof, err := finereg.BenchmarkProfile(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grid := prof.GridCTAs / 4
+		var base float64
+		fmt.Printf("%-6s", b)
+		for i, p := range policies {
+			m, err := finereg.RunBenchmark(cfg, b, grid, p.pf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				base = m.IPC()
+			}
+			fmt.Printf("%13.3f", m.IPC()/base)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(normalized IPC vs baseline; see cmd/finereg-experiments for the full Figure 13)")
+}

@@ -1,0 +1,56 @@
+// Quickstart: simulate one Table II benchmark on the Table I machine under
+// the conventional baseline and under FineReg, and print the comparison —
+// the 30-second version of the paper's headline experiment.
+//
+//	go run ./examples/quickstart [bench]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"finereg"
+)
+
+func main() {
+	bench := "SY2"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	// A 4-SM miniature of the Table I machine keeps this instant; pass 16
+	// for the full GTX 980-like configuration.
+	cfg := finereg.ScaledConfig(4)
+	grid := 256
+
+	prof, err := finereg.BenchmarkProfile(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s, %s): %d regs/thread, %d warps/CTA, %d B shared memory\n\n",
+		prof.Abbrev, prof.Name, prof.Class, prof.Regs, prof.WarpsPerCTA, prof.SharedMem)
+
+	base, err := finereg.RunBenchmark(cfg, bench, grid, finereg.Baseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fine, err := finereg.RunBenchmark(cfg, bench, grid, finereg.FineReg())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "Baseline", "FineReg")
+	fmt.Printf("%-22s %12.3f %12.3f\n", "IPC", base.IPC(), fine.IPC())
+	fmt.Printf("%-22s %12d %12d\n", "cycles", base.Cycles, fine.Cycles)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "resident CTAs/SM", base.AvgResidentCTAs, fine.AvgResidentCTAs)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "active CTAs/SM", base.AvgActiveCTAs, fine.AvgActiveCTAs)
+	fmt.Printf("%-22s %12d %12d\n", "CTA switches", base.CTASwitches, fine.CTASwitches)
+
+	eb := finereg.EstimateEnergy(base, cfg.NumSMs)
+	ef := finereg.EstimateEnergy(fine, cfg.NumSMs)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "energy (uJ)", eb.Total(), ef.Total())
+
+	fmt.Printf("\nFineReg speedup: %.2fx  (energy %.1f%% of baseline)\n",
+		fine.IPC()/base.IPC(), 100*ef.Total()/eb.Total())
+}

@@ -1,0 +1,176 @@
+package finereg
+
+import (
+	"testing"
+
+	"finereg/internal/experiments"
+	"finereg/internal/kernels"
+)
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	cfg := DefaultConfig()
+	checks := []struct {
+		name      string
+		got, want int
+	}{
+		{"SMs", cfg.NumSMs, 16},
+		{"max warps/SM", cfg.SM.MaxWarps, 64},
+		{"max threads/SM", cfg.SM.MaxThreads, 2048},
+		{"max CTAs/SM", cfg.SM.MaxCTAs, 32},
+		{"warp schedulers/SM", cfg.SM.NumSchedulers, 4},
+		{"register file/SM", cfg.SM.RegFileBytes, 256 << 10},
+		{"shared memory/SM", cfg.SM.SharedMemBytes, 96 << 10},
+		{"L1 size/SM", cfg.SM.L1Bytes, 48 << 10},
+		{"L1 ways", cfg.SM.L1Ways, 8},
+		{"L2 size", cfg.L2Bytes, 2048 << 10},
+		{"L2 ways", cfg.L2Ways, 8},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (Table I)", c.name, c.got, c.want)
+		}
+	}
+	// 352.5 GB/s at 1126 MHz = 313 bytes/cycle.
+	if cfg.DRAMBytesPerCycle < 310 || cfg.DRAMBytesPerCycle > 316 {
+		t.Errorf("DRAM bandwidth = %v B/cycle, want ~313 (352.5 GB/s @ 1126 MHz)", cfg.DRAMBytesPerCycle)
+	}
+}
+
+func TestBenchmarksAPI(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 18 {
+		t.Fatalf("Benchmarks() returned %d names, want 18", len(names))
+	}
+	p, err := BenchmarkProfile("SG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != kernels.TypeR {
+		t.Error("SGEMM should be Type-R")
+	}
+	if _, err := BenchmarkProfile("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestRunBenchmarkPublicAPI(t *testing.T) {
+	cfg := ScaledConfig(2)
+	m, err := RunBenchmark(cfg, "CS", 32, FineReg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Instructions == 0 || m.IPC() <= 0 {
+		t.Errorf("run produced no work: %+v", m)
+	}
+	e := EstimateEnergy(m, cfg.NumSMs)
+	if e.Total() <= 0 {
+		t.Error("energy estimate should be positive")
+	}
+	if e.Leakage <= 0 || e.OthersDyn <= 0 {
+		t.Error("energy breakdown components missing")
+	}
+}
+
+func TestRunCustomKernel(t *testing.T) {
+	prof := kernels.Profile{
+		Abbrev: "CUSTOM", Name: "custom kernel", Class: kernels.TypeS,
+		WarpsPerCTA: 2, Regs: 20, Persistent: 5,
+		LoopTrips: 8, StreamLoads: 1, HotLoads: 1, ComputePerIter: 10,
+		FootprintKB: 1 << 10, GridCTAs: 16,
+	}
+	m, err := RunKernel(ScaledConfig(2), prof, 16, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CTAsLaunched != 16 {
+		t.Errorf("launched %d CTAs, want 16", m.CTAsLaunched)
+	}
+}
+
+// TestHeadlineShape asserts the paper's central result holds in shape at
+// test scale: FineReg beats every other configuration's mean, the ordering
+// FineReg > VT+RegMutex > {Reg+DRAM, VT} > Baseline holds, VT shows no CTA
+// gain for Type-R workloads, and FineReg's gains exceed 15% overall.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute sweep")
+	}
+	sweep, err := experiments.RunSweep(experiments.Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f13 := experiments.Figure13(sweep)
+	fine := f13.Mean[experiments.CfgFineReg][0]
+	mutex := f13.Mean[experiments.CfgRegMutex][0]
+	vt := f13.Mean[experiments.CfgVT][0]
+	dram := f13.Mean[experiments.CfgRegDRAM][0]
+
+	if fine <= mutex {
+		t.Errorf("FineReg (%.3f) should outperform VT+RegMutex (%.3f)", fine, mutex)
+	}
+	if mutex <= vt {
+		t.Errorf("VT+RegMutex (%.3f) should outperform VT (%.3f)", mutex, vt)
+	}
+	if dram < vt-0.01 {
+		t.Errorf("Reg+DRAM (%.3f) should not fall below VT (%.3f)", dram, vt)
+	}
+	if fine < 1.15 {
+		t.Errorf("FineReg mean speedup %.3f, want >= 1.15 (paper: 1.328)", fine)
+	}
+	if vt < 1.0 {
+		t.Errorf("VT mean speedup %.3f, want >= 1.0 (paper: ~1.12)", vt)
+	}
+
+	f12 := experiments.Figure12(sweep)
+	if r := f12.Mean[experiments.CfgFineReg][0]; r < 1.3 {
+		t.Errorf("FineReg CTA ratio %.2f, want >= 1.3 (paper: ~2.4x)", r)
+	}
+	// Paper Section VI-B: Virtual Thread "shows no improvement over the
+	// baseline for Type-R workloads".
+	if r := f12.Mean[experiments.CfgVT][2]; r > 1.1 {
+		t.Errorf("VT Type-R CTA ratio %.2f, want ~1.0", r)
+	}
+	// FineReg gains more CTAs on Type-S than Type-R (paper: 203.8% vs
+	// 79.8%).
+	fr := f12.Mean[experiments.CfgFineReg]
+	if fr[1] <= fr[2] {
+		t.Errorf("FineReg Type-S CTA ratio (%.2f) should exceed Type-R (%.2f)", fr[1], fr[2])
+	}
+
+	f16 := experiments.Figure16(sweep)
+	if e := f16.Norm[experiments.CfgFineReg]; e >= 1.0 {
+		t.Errorf("FineReg normalized energy %.3f, want < 1.0 (paper: 0.787)", e)
+	}
+}
+
+// TestFigure17Shape asserts the split-sensitivity crossovers: the balanced
+// 128/128 split wins, and both extremes lose to it.
+func TestFigure17Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute sweep")
+	}
+	opts := experiments.Quick()
+	// A subset keeps this test affordable while spanning both classes.
+	opts.Benchmarks = []string{"CS", "SY2", "MC", "LB", "LI", "SG"}
+	r, err := experiments.Figure17(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := r.Splits[r.Best()]
+	if best.ACRF < 96 || best.ACRF > 160 {
+		t.Errorf("best split %d/%d, want near the balanced 128/128", best.ACRF, best.PCRF)
+	}
+	mid := r.NormPerf[2] // 128/128
+	if r.NormPerf[0] > mid {
+		t.Errorf("64/192 (%.3f) should not beat 128/128 (%.3f): tiny ACRF causes switch thrash", r.NormPerf[0], mid)
+	}
+	if r.NormPerf[4] > mid {
+		t.Errorf("192/64 (%.3f) should not beat 128/128 (%.3f): tiny PCRF kills TLP", r.NormPerf[4], mid)
+	}
+	// Active share must grow monotonically as the ACRF grows.
+	for i := 1; i < len(r.ActiveShare); i++ {
+		if r.ActiveShare[i] < r.ActiveShare[i-1] {
+			t.Errorf("active share not monotone in ACRF size: %v", r.ActiveShare)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module finereg
+
+go 1.22

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+
+	"finereg/internal/mem"
+	"finereg/internal/sm"
+)
+
+// ctaInfo is the FineReg policy's per-CTA bookkeeping: its status-monitor
+// slot and, while pending, the head of its PCRF chain.
+type ctaInfo struct {
+	slot     int
+	head     int
+	chainLen int
+}
+
+// FineReg is the paper's register-file management policy. The monolithic
+// register file is split into the ACRF (active CTAs, full allocations) and
+// the PCRF (pending CTAs, live registers only). When all warps of an
+// active CTA stall, its live registers — identified by the compiler's
+// liveness bit vectors, fetched through the RMU's bit-vector cache — are
+// chained into the PCRF and the freed ACRF slot admits a new or resuming
+// CTA. When the PCRF cannot hold the live set, FineReg degrades to pure
+// ACRF↔PCRF context switching, and failing that leaves the CTA stalled
+// (the Figure 14 depletion case).
+type FineReg struct {
+	cfg  sm.Config
+	hier *mem.Hierarchy
+
+	// ACRFBytes and PCRFBytes partition the register file; they must sum
+	// to cfg.RegFileBytes (the paper's default splits 256 KB into
+	// 128 KB + 128 KB).
+	ACRFBytes, PCRFBytes int
+
+	// CompactLive selects live-register-only storage in the PCRF (the
+	// FineReg contribution). Disabling it stores full register sets — the
+	// ablation that isolates the compaction benefit.
+	CompactLive bool
+
+	acrfFree int
+	pcrf     *PCRF
+	rmu      *RMU
+	mon      *StatusMonitor
+
+	slotFree     []int
+	blocked      bool
+	blockedSince int64
+
+	// DepletionEvents counts switch attempts rejected for lack of PCRF
+	// space (Figure 14 diagnostics).
+	DepletionEvents int64
+}
+
+// NewFineReg builds the policy with the given ACRF/PCRF split. It panics
+// if the split does not cover the configured register file — a static
+// misconfiguration.
+func NewFineReg(cfg sm.Config, hier *mem.Hierarchy, acrfBytes, pcrfBytes int) *FineReg {
+	if acrfBytes+pcrfBytes != cfg.RegFileBytes {
+		panic(fmt.Sprintf("core: ACRF %d + PCRF %d != register file %d bytes",
+			acrfBytes, pcrfBytes, cfg.RegFileBytes))
+	}
+	pcrf, err := NewPCRF(pcrfBytes / sm.WarpRegBytes)
+	if err != nil {
+		panic(err)
+	}
+	return &FineReg{
+		cfg:         cfg,
+		hier:        hier,
+		ACRFBytes:   acrfBytes,
+		PCRFBytes:   pcrfBytes,
+		CompactLive: true,
+		pcrf:        pcrf,
+		rmu:         NewRMU(hier),
+		mon:         &StatusMonitor{},
+	}
+}
+
+// Name implements sm.Policy.
+func (f *FineReg) Name() string { return "FineReg" }
+
+// PCRFState exposes the PCRF for tests and diagnostics.
+func (f *FineReg) PCRFState() *PCRF { return f.pcrf }
+
+// RMUState exposes the RMU for tests and diagnostics.
+func (f *FineReg) RMUState() *RMU { return f.rmu }
+
+// Monitor exposes the CTA status monitor.
+func (f *FineReg) Monitor() *StatusMonitor { return f.mon }
+
+// KernelStart implements sm.Policy.
+func (f *FineReg) KernelStart(s *sm.SM, now int64) {
+	f.acrfFree = f.ACRFBytes / sm.WarpRegBytes
+	f.pcrf.Reset()
+	f.rmu.Reset()
+	f.mon.Reset()
+	f.blocked = false
+	f.slotFree = f.slotFree[:0]
+	for i := MonitorSlots - 1; i >= 0; i-- {
+		f.slotFree = append(f.slotFree, i)
+	}
+}
+
+func (f *FineReg) takeSlot() int {
+	if len(f.slotFree) == 0 {
+		return -1
+	}
+	s := f.slotFree[len(f.slotFree)-1]
+	f.slotFree = f.slotFree[:len(f.slotFree)-1]
+	return s
+}
+
+func (f *FineReg) putSlot(slot int) { f.slotFree = append(f.slotFree, slot) }
+
+// FillSlots restores ready pending CTAs and launches new ones while the
+// ACRF and scheduling resources allow.
+func (f *FineReg) FillSlots(s *sm.SM, now int64) {
+	cost := s.Meta().RegCostPerCTA()
+	for s.CanActivateOne(false) {
+		if c := f.readyPending(s, now); c != nil && f.acrfFree >= cost {
+			f.restore(s, c, now, 0)
+			continue
+		}
+		if f.acrfFree < cost || !s.CanActivateOne(true) || len(f.slotFree) == 0 {
+			return
+		}
+		c := s.LaunchNew(now, 0)
+		if c == nil {
+			return
+		}
+		f.adopt(c)
+	}
+}
+
+// adopt initializes policy bookkeeping for a newly launched active CTA.
+func (f *FineReg) adopt(c *sm.CTA) {
+	f.acrfFree -= c.RegCost
+	info := &ctaInfo{slot: f.takeSlot(), head: -1}
+	c.SetPolicyData(info)
+	f.mon.Set(info.slot, CtxPipeline, RegACRF)
+}
+
+// OnCTAStalled attempts a FineReg switch for the fully stalled CTA c.
+func (f *FineReg) OnCTAStalled(s *sm.SM, c *sm.CTA, now int64) {
+	f.trySwitch(s, c, now)
+}
+
+// trySwitch evicts c's live registers to the PCRF and activates a
+// replacement (a ready pending CTA, else a fresh launch), implementing the
+// Section V-E procedure including the free-entry arithmetic that counts
+// slots released by the outgoing pending CTA.
+func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
+	if c.State != sm.CTAActive {
+		return
+	}
+	in := f.readyPending(s, now)
+	canNew := s.Disp.Remaining() > 0 && s.CanParkResident() &&
+		len(f.slotFree) > 0
+	if in == nil && !canNew {
+		return
+	}
+	live := f.evictDemand(s, c)
+	space := f.pcrf.Free()
+	if in != nil {
+		space += f.info(in).chainLen
+	}
+	if live > space {
+		// Section V-B: the stalled CTA must remain in the ACRF until the
+		// PCRF drains — the register-depletion stall of Figure 14.
+		if !f.blocked {
+			f.blocked = true
+			f.blockedSince = now
+		}
+		f.DepletionEvents++
+		return
+	}
+	if in != nil {
+		inInfo := f.info(in)
+		restored := f.pcrf.ReleaseChain(inInfo.head)
+		s.Cnt.PCRFReads += int64(len(restored))
+		s.Cnt.RFWrites += int64(len(restored))
+		inInfo.head, inInfo.chainLen = -1, 0
+		evictBv := f.bitvecDelay(s, c, now)
+		f.evictStore(s, c, now)
+		// Restore and eviction stream through the arbitrator
+		// concurrently (Section V-E); warps of the incoming CTA become
+		// eligible as soon as their own live registers have been read
+		// back, so the visible delay is one warp's worth of chain.
+		lat := evictBv + restoreLat(len(restored), s.Meta().WarpsPerCTA())
+		f.acrfFree -= in.RegCost
+		f.mon.Set(inInfo.slot, CtxPipeline, RegACRF)
+		s.Reactivate(in, now, lat+f.cfg.SwitchDrainLat)
+	} else {
+		evictBv := f.bitvecDelay(s, c, now)
+		evictLat := evictBv + f.evictStore(s, c, now)
+		if nc := s.LaunchNew(now, evictLat+f.cfg.SwitchDrainLat); nc != nil {
+			f.adopt(nc)
+		}
+	}
+	f.clearBlocked(s, now)
+}
+
+// clearBlocked closes a PCRF-depletion window, accounting its cycles.
+func (f *FineReg) clearBlocked(s *sm.SM, now int64) {
+	if f.blocked {
+		s.Cnt.DepletionCycles += now - f.blockedSince
+		f.blocked = false
+	}
+}
+
+// evictDemand returns the PCRF entries CTA c needs: its live registers
+// when compaction is on, its full allocation otherwise.
+func (f *FineReg) evictDemand(s *sm.SM, c *sm.CTA) int {
+	if f.CompactLive {
+		return s.Meta().LiveRegsOf(c)
+	}
+	return c.RegCost
+}
+
+// bitvecDelay probes the RMU's bit-vector cache for every distinct stall
+// PC of c and returns the worst-case fetch delay.
+func (f *FineReg) bitvecDelay(s *sm.SM, c *sm.CTA, now int64) int64 {
+	var bvDelay int64
+	for _, pc := range s.Meta().StallPCs(c) {
+		if d := f.rmu.Lookup(pc, now); d > bvDelay {
+			bvDelay = d
+		}
+	}
+	return bvDelay
+}
+
+// restoreLat is the cycles until the first restored warp may issue: the
+// PCRF tag access plus its share of the pipelined chain.
+func restoreLat(chainLen, warps int) int64 {
+	if chainLen <= 0 {
+		return 0
+	}
+	if warps < 1 {
+		warps = 1
+	}
+	return PCRFTagLat + int64((chainLen+warps-1)/warps)
+}
+
+// evictStore moves c's (live) registers into the PCRF, parks the CTA, and
+// returns the outbound transfer latency (bit-vector lookups are accounted
+// separately via bitvecDelay).
+func (f *FineReg) evictStore(s *sm.SM, c *sm.CTA, now int64) int64 {
+	var refs []RegRef
+	if f.CompactLive {
+		s.Meta().LiveRefs(c, func(w, r uint8) {
+			refs = append(refs, RegRef{Warp: w, Reg: r})
+		})
+	} else {
+		for wi := 0; wi < s.Meta().WarpsPerCTA(); wi++ {
+			for r := 0; r < s.Meta().RegsPerThread(); r++ {
+				refs = append(refs, RegRef{Warp: uint8(wi), Reg: uint8(r)})
+			}
+		}
+	}
+	head, ok := f.pcrf.StoreChain(refs)
+	if !ok {
+		panic("core: evictStore without sufficient PCRF space (caller must check)")
+	}
+	s.Cnt.PCRFWrites += int64(len(refs))
+	s.Cnt.RFReads += int64(len(refs))
+	s.Deactivate(c, sm.CTAPendingPCRF, now)
+	f.acrfFree += c.RegCost
+	info := f.info(c)
+	info.head, info.chainLen = head, len(refs)
+	c.LiveRegs = len(refs)
+	f.mon.Set(info.slot, CtxSharedMem, RegPCRF)
+	return TransferLat(len(refs))
+}
+
+// restore reactivates a pending CTA, reading its chain back into the ACRF.
+func (f *FineReg) restore(s *sm.SM, c *sm.CTA, now, extraLat int64) {
+	info := f.info(c)
+	refs := f.pcrf.ReleaseChain(info.head)
+	s.Cnt.PCRFReads += int64(len(refs))
+	s.Cnt.RFWrites += int64(len(refs))
+	info.head, info.chainLen = -1, 0
+	f.acrfFree -= c.RegCost
+	f.mon.Set(info.slot, CtxPipeline, RegACRF)
+	s.Reactivate(c, now, restoreLat(len(refs), s.Meta().WarpsPerCTA())+f.cfg.SwitchDrainLat+extraLat)
+}
+
+// OnCTAReady resumes the CTA directly when the ACRF has room, or swaps it
+// with a fully stalled active CTA.
+func (f *FineReg) OnCTAReady(s *sm.SM, c *sm.CTA, now int64) {
+	if c.State != sm.CTAPendingPCRF {
+		return
+	}
+	if s.CanActivateOne(false) && f.acrfFree >= c.RegCost {
+		f.restore(s, c, now, 0)
+		f.clearBlocked(s, now)
+		return
+	}
+	if victim := f.stalledActive(s); victim != nil {
+		f.trySwitch(s, victim, now)
+	}
+}
+
+// OnCTAFinished releases the CTA's ACRF allocation and monitor slot.
+func (f *FineReg) OnCTAFinished(s *sm.SM, c *sm.CTA, now int64) {
+	f.acrfFree += c.RegCost
+	info := f.info(c)
+	f.mon.Set(info.slot, CtxNotLaunched, RegNotLaunched)
+	f.putSlot(info.slot)
+	f.clearBlocked(s, now)
+}
+
+// AllowIssue implements sm.Policy.
+func (f *FineReg) AllowIssue(s *sm.SM, w *sm.Warp, now int64) bool { return true }
+
+// BlockedOnRegisters implements sm.Policy (Figure 14b accounting).
+func (f *FineReg) BlockedOnRegisters() bool { return f.blocked }
+
+func (f *FineReg) info(c *sm.CTA) *ctaInfo {
+	info, ok := c.PolicyData().(*ctaInfo)
+	if !ok {
+		panic("core: CTA without FineReg bookkeeping")
+	}
+	return info
+}
+
+// readyPending returns the best resume candidate per the status monitor's
+// switch priority (Section V-B), breaking ties by CTA ID.
+func (f *FineReg) readyPending(s *sm.SM, now int64) *sm.CTA {
+	var best *sm.CTA
+	bestRank := int(^uint(0) >> 1)
+	for _, c := range s.Residents() {
+		if c.State != sm.CTAPendingPCRF || c.ReadyAt > now {
+			continue
+		}
+		rank := f.mon.SwitchPriority(f.info(c).slot)
+		if rank < 0 {
+			continue
+		}
+		if best == nil || rank < bestRank || (rank == bestRank && c.ID < best.ID) {
+			best, bestRank = c, rank
+		}
+	}
+	return best
+}
+
+func (f *FineReg) stalledActive(s *sm.SM) *sm.CTA {
+	var best *sm.CTA
+	for _, c := range s.Residents() {
+		if c.State == sm.CTAActive && c.FullyStalled() {
+			if best == nil || c.ID < best.ID {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// ACRFFree exposes the free ACRF warp-registers (tests/diagnostics).
+func (f *FineReg) ACRFFree() int { return f.acrfFree }

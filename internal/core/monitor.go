@@ -1,0 +1,92 @@
+package core
+
+import "fmt"
+
+// CtxLoc encodes where a CTA's pipeline context is (Table IV row 1).
+type CtxLoc uint8
+
+// RegLoc encodes where a CTA's registers are (Table IV row 2).
+type RegLoc uint8
+
+// Table IV encodings.
+const (
+	CtxNotLaunched CtxLoc = 0
+	CtxSharedMem   CtxLoc = 1
+	CtxPipeline    CtxLoc = 2
+
+	RegNotLaunched RegLoc = 0
+	RegPCRF        RegLoc = 1
+	RegACRF        RegLoc = 2
+)
+
+// MonitorSlots is the resident-CTA capacity of the status monitor
+// (Section V-F: "FineReg is designed to support up to 128 CTAs").
+const MonitorSlots = 128
+
+// StatusMonitor is the CTA status monitor of Figure 8: two arrays of 2-bit
+// fields (context location, register location) indexed by resident-CTA
+// slot. The fields are stored packed, as in hardware, so the structure's
+// size matches the paper's 256-bit-per-field accounting.
+type StatusMonitor struct {
+	ctx [MonitorSlots / 32]uint64 // 2 bits per slot
+	reg [MonitorSlots / 32]uint64
+}
+
+func get2(a *[MonitorSlots / 32]uint64, slot int) uint8 {
+	return uint8(a[slot/32] >> (uint(slot%32) * 2) & 3)
+}
+
+func set2(a *[MonitorSlots / 32]uint64, slot int, v uint8) {
+	sh := uint(slot%32) * 2
+	a[slot/32] = a[slot/32]&^(3<<sh) | uint64(v&3)<<sh
+}
+
+// Set records a CTA slot's context and register location.
+func (m *StatusMonitor) Set(slot int, c CtxLoc, r RegLoc) {
+	if slot < 0 || slot >= MonitorSlots {
+		panic(fmt.Sprintf("core: status monitor slot %d out of range", slot))
+	}
+	set2(&m.ctx, slot, uint8(c))
+	set2(&m.reg, slot, uint8(r))
+}
+
+// Get returns a slot's context and register location.
+func (m *StatusMonitor) Get(slot int) (CtxLoc, RegLoc) {
+	if slot < 0 || slot >= MonitorSlots {
+		panic(fmt.Sprintf("core: status monitor slot %d out of range", slot))
+	}
+	return CtxLoc(get2(&m.ctx, slot)), RegLoc(get2(&m.reg, slot))
+}
+
+// IsActive reports the paper's activity rule: a CTA is active only when
+// both fields read 2 (pipeline + ACRF).
+func (m *StatusMonitor) IsActive(slot int) bool {
+	c, r := m.Get(slot)
+	return c == CtxPipeline && r == RegACRF
+}
+
+// SwitchPriority ranks a slot as a resume candidate per Section V-B:
+// context in shared memory with registers still in the ACRF is preferred
+// (rank 0), then context and registers both backed up (rank 1); anything
+// else is not a candidate (rank -1).
+func (m *StatusMonitor) SwitchPriority(slot int) int {
+	c, r := m.Get(slot)
+	switch {
+	case c == CtxSharedMem && r == RegACRF:
+		return 0
+	case c == CtxSharedMem && r == RegPCRF:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Reset clears all slots to not-launched.
+func (m *StatusMonitor) Reset() {
+	m.ctx = [MonitorSlots / 32]uint64{}
+	m.reg = [MonitorSlots / 32]uint64{}
+}
+
+// StorageBits returns the monitor's SRAM cost: 2 bits × slots × 2 fields
+// (Section V-F: 256 bits per field for 128 CTAs).
+func (m *StatusMonitor) StorageBits() int { return MonitorSlots * 2 * 2 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refs(n int) []RegRef {
+	out := make([]RegRef, n)
+	for i := range out {
+		out[i] = RegRef{Warp: uint8(i % 32), Reg: uint8(i % 63)}
+	}
+	return out
+}
+
+func TestPCRFGeometry(t *testing.T) {
+	p, err := NewPCRF(1024) // the paper's 128 KB PCRF
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entries() != 1024 || p.Free() != 1024 {
+		t.Errorf("entries/free = %d/%d, want 1024/1024", p.Entries(), p.Free())
+	}
+	// Section V-F: 21 tag bits x 1024 entries = 2.15 KB (2688 bytes).
+	if got := p.TagOverheadBytes(); got != 2688 {
+		t.Errorf("tag overhead = %d bytes, want 2688", got)
+	}
+	if _, err := NewPCRF(0); err == nil {
+		t.Error("zero-entry PCRF should be rejected")
+	}
+}
+
+func TestPCRFStoreRetrieveChain(t *testing.T) {
+	p, _ := NewPCRF(16)
+	in := refs(5)
+	head, ok := p.StoreChain(in)
+	if !ok || head < 0 {
+		t.Fatalf("StoreChain failed: head=%d ok=%v", head, ok)
+	}
+	if p.Free() != 11 {
+		t.Errorf("free = %d, want 11", p.Free())
+	}
+	if n := p.ChainLen(head); n != 5 {
+		t.Errorf("ChainLen = %d, want 5", n)
+	}
+	out := p.ReleaseChain(head)
+	if len(out) != 5 {
+		t.Fatalf("released %d refs, want 5", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("chain order broken at %d: got %v want %v", i, out[i], in[i])
+		}
+	}
+	if p.Free() != 16 {
+		t.Errorf("free after release = %d, want 16", p.Free())
+	}
+}
+
+func TestPCRFEmptyChain(t *testing.T) {
+	p, _ := NewPCRF(4)
+	head, ok := p.StoreChain(nil)
+	if !ok || head != -1 {
+		t.Errorf("empty store: head=%d ok=%v, want -1/true", head, ok)
+	}
+	if got := p.ReleaseChain(-1); got != nil {
+		t.Errorf("ReleaseChain(-1) = %v, want nil", got)
+	}
+	if got := p.ChainLen(-1); got != 0 {
+		t.Errorf("ChainLen(-1) = %d, want 0", got)
+	}
+}
+
+func TestPCRFCapacityRejection(t *testing.T) {
+	p, _ := NewPCRF(4)
+	if _, ok := p.StoreChain(refs(5)); ok {
+		t.Error("overfull store should fail")
+	}
+	if p.Free() != 4 {
+		t.Error("failed store must not mutate")
+	}
+	if _, ok := p.StoreChain(refs(4)); !ok {
+		t.Error("exact-fit store should succeed")
+	}
+	if _, ok := p.StoreChain(refs(1)); ok {
+		t.Error("store into full PCRF should fail")
+	}
+}
+
+func TestPCRFInterleavedChains(t *testing.T) {
+	p, _ := NewPCRF(32)
+	h1, _ := p.StoreChain(refs(10))
+	h2, _ := p.StoreChain(refs(12))
+	// Release the first chain; its slots fragment the free space, so the
+	// next chain must thread through non-contiguous entries.
+	p.ReleaseChain(h1)
+	h3, ok := p.StoreChain(refs(15))
+	if !ok {
+		t.Fatal("fragmented store should still succeed (15 <= 20 free)")
+	}
+	if n := p.ChainLen(h3); n != 15 {
+		t.Errorf("fragmented chain length = %d, want 15", n)
+	}
+	if got := len(p.ReleaseChain(h2)); got != 12 {
+		t.Errorf("chain 2 released %d, want 12", got)
+	}
+	if got := len(p.ReleaseChain(h3)); got != 15 {
+		t.Errorf("chain 3 released %d, want 15", got)
+	}
+	if p.Free() != 32 {
+		t.Errorf("free = %d, want 32", p.Free())
+	}
+}
+
+func TestPCRFCounters(t *testing.T) {
+	p, _ := NewPCRF(8)
+	h, _ := p.StoreChain(refs(3))
+	p.ReleaseChain(h)
+	if p.Writes != 3 || p.Reads != 3 {
+		t.Errorf("reads/writes = %d/%d, want 3/3", p.Reads, p.Writes)
+	}
+	p.Reset()
+	if p.Writes != 0 || p.Reads != 0 || p.Free() != 8 {
+		t.Error("Reset should clear counters and contents")
+	}
+}
+
+// Property: arbitrary interleavings of store/release keep free-count
+// consistent and chains intact (round-trip exactly what was stored).
+func TestPCRFChainsQuick(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := NewPCRF(64)
+		type chain struct {
+			head int
+			data []RegRef
+		}
+		var live []chain
+		used := 0
+		for op := 0; op < int(opsRaw%40)+10; op++ {
+			if rng.Intn(2) == 0 && used < 60 {
+				n := 1 + rng.Intn(10)
+				data := make([]RegRef, n)
+				for i := range data {
+					data[i] = RegRef{Warp: uint8(rng.Intn(32)), Reg: uint8(rng.Intn(64))}
+				}
+				head, ok := p.StoreChain(data)
+				if n <= p.Free()+n && !ok && n <= 64-used {
+					return false // must succeed when space suffices
+				}
+				if ok {
+					live = append(live, chain{head, data})
+					used += n
+				}
+			} else if len(live) > 0 {
+				i := rng.Intn(len(live))
+				c := live[i]
+				got := p.ReleaseChain(c.head)
+				if len(got) != len(c.data) {
+					return false
+				}
+				for j := range got {
+					if got[j] != c.data[j] {
+						return false
+					}
+				}
+				used -= len(c.data)
+				live = append(live[:i], live[i+1:]...)
+			}
+			if p.Free() != 64-used {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

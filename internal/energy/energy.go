@@ -1,0 +1,89 @@
+// Package energy estimates whole-run energy from the simulator's event
+// counters, in the style of the GPUWattch/register-file-virtualization
+// models the paper adopts (Section VI-F). The model is event-based: each
+// counter class carries a per-event energy coefficient, plus
+// time-proportional terms (leakage and clock tree) that dominate on
+// GPU-class chips. Absolute joules are not the point — the Figure 16
+// comparison is relative — but the coefficients are set to plausible
+// 28 nm-class magnitudes so the breakdown shape is meaningful.
+package energy
+
+import "finereg/internal/stats"
+
+// Coefficients are per-event energies in picojoules (pJ) and per-cycle
+// powers in pJ/cycle.
+type Coefficients struct {
+	// InstrPJ covers decode/issue/execute datapath energy per instruction.
+	InstrPJ float64
+	// RFAccessPJ is one 128-byte register-file read or write.
+	RFAccessPJ float64
+	// PCRFAccessPJ is one PCRF entry access (tag + 128-byte data).
+	PCRFAccessPJ float64
+	// SharedPJ is one shared-memory access.
+	SharedPJ float64
+	// L1PJ / L2PJ are per cache probe.
+	L1PJ, L2PJ float64
+	// DRAMPJPerByte is off-chip transfer energy.
+	DRAMPJPerByte float64
+	// SwitchPJ is the CTA-switching control logic per switch event.
+	SwitchPJ float64
+	// RMUPJ is FineReg management logic per PCRF transfer (index decode,
+	// pointer table, free-space monitor).
+	RMUPJ float64
+	// LeakagePJPerCycleSM and ClockPJPerCycleSM are static and clock-tree
+	// power per SM-cycle; they make energy largely runtime-proportional,
+	// which is why faster configurations come out greener in Figure 16.
+	LeakagePJPerCycleSM float64
+	ClockPJPerCycleSM   float64
+}
+
+// DefaultCoefficients returns the calibration used by the experiments.
+func DefaultCoefficients() Coefficients {
+	return Coefficients{
+		InstrPJ:             28,
+		RFAccessPJ:          22,
+		PCRFAccessPJ:        26,
+		SharedPJ:            32,
+		L1PJ:                40,
+		L2PJ:                90,
+		DRAMPJPerByte:       18,
+		SwitchPJ:            600,
+		RMUPJ:               8,
+		LeakagePJPerCycleSM: 1100,
+		ClockPJPerCycleSM:   350,
+	}
+}
+
+// Breakdown is the Figure 16 component decomposition, in microjoules.
+type Breakdown struct {
+	DRAMDyn    float64 // off-chip transfer energy
+	RFDyn      float64 // register file (ACRF/PCRF) access energy
+	OthersDyn  float64 // datapath, caches, shared memory, clock tree
+	Leakage    float64 // static energy over the run
+	FineRegLog float64 // RMU + status monitor activity
+	CTASwitch  float64 // switching logic
+}
+
+// Total returns the summed energy in microjoules.
+func (b Breakdown) Total() float64 {
+	return b.DRAMDyn + b.RFDyn + b.OthersDyn + b.Leakage + b.FineRegLog + b.CTASwitch
+}
+
+// Estimate computes the energy breakdown for one run on a machine with
+// numSMs SMs.
+func Estimate(m *stats.Metrics, numSMs int, c Coefficients) Breakdown {
+	const toMicro = 1e-6 // pJ -> µJ
+	var b Breakdown
+	b.DRAMDyn = float64(m.DRAMBytes()) * c.DRAMPJPerByte * toMicro
+	b.RFDyn = (float64(m.RFReads+m.RFWrites)*c.RFAccessPJ +
+		float64(m.PCRFReads+m.PCRFWrites)*c.PCRFAccessPJ) * toMicro
+	b.OthersDyn = (float64(m.Instructions)*c.InstrPJ +
+		float64(m.SharedAccesses)*c.SharedPJ +
+		float64(m.L1Accesses)*c.L1PJ +
+		float64(m.L2Accesses)*c.L2PJ +
+		float64(m.Cycles)*float64(numSMs)*c.ClockPJPerCycleSM) * toMicro
+	b.Leakage = float64(m.Cycles) * float64(numSMs) * c.LeakagePJPerCycleSM * toMicro
+	b.FineRegLog = float64(m.PCRFReads+m.PCRFWrites) * c.RMUPJ * toMicro
+	b.CTASwitch = float64(m.CTASwitches) * c.SwitchPJ * toMicro
+	return b
+}

@@ -1,0 +1,103 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"finereg/internal/stats"
+)
+
+func sampleMetrics() *stats.Metrics {
+	return &stats.Metrics{
+		Cycles: 10_000, Instructions: 40_000,
+		RFReads: 60_000, RFWrites: 30_000,
+		PCRFReads: 2_000, PCRFWrites: 2_000,
+		SharedAccesses: 1_000,
+		L1Accesses:     9_000, L2Accesses: 4_000,
+		DRAMDemandBytes: 500_000, DRAMContextBytes: 10_000, DRAMBitvecBytes: 120,
+		CTASwitches: 300,
+	}
+}
+
+func TestEstimateComponentsPositive(t *testing.T) {
+	b := Estimate(sampleMetrics(), 16, DefaultCoefficients())
+	comps := map[string]float64{
+		"DRAMDyn": b.DRAMDyn, "RFDyn": b.RFDyn, "OthersDyn": b.OthersDyn,
+		"Leakage": b.Leakage, "FineRegLog": b.FineRegLog, "CTASwitch": b.CTASwitch,
+	}
+	for name, v := range comps {
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	var sum float64
+	for _, v := range comps {
+		sum += v
+	}
+	if diff := b.Total() - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Total %v != component sum %v", b.Total(), sum)
+	}
+}
+
+func TestTimeProportionalDominates(t *testing.T) {
+	// The calibration intent: on GPU-class chips static+clock energy is
+	// the largest share, so faster configurations come out greener
+	// (Figure 16's FineReg result).
+	b := Estimate(sampleMetrics(), 16, DefaultCoefficients())
+	timeTerm := b.Leakage
+	if timeTerm < 0.3*b.Total() {
+		t.Errorf("leakage share = %.2f of total, want >= 0.30", timeTerm/b.Total())
+	}
+}
+
+func TestFasterRunUsesLessEnergy(t *testing.T) {
+	slow := sampleMetrics()
+	fast := sampleMetrics()
+	fast.Cycles = slow.Cycles * 3 / 4 // same work, 25% faster
+	eSlow := Estimate(slow, 16, DefaultCoefficients()).Total()
+	eFast := Estimate(fast, 16, DefaultCoefficients()).Total()
+	if eFast >= eSlow {
+		t.Errorf("faster run should use less energy: fast %v >= slow %v", eFast, eSlow)
+	}
+}
+
+func TestContextTrafficCostsEnergy(t *testing.T) {
+	base := sampleMetrics()
+	heavy := sampleMetrics()
+	heavy.DRAMContextBytes += 5_000_000 // Reg+DRAM style context movement
+	eBase := Estimate(base, 16, DefaultCoefficients())
+	eHeavy := Estimate(heavy, 16, DefaultCoefficients())
+	if eHeavy.DRAMDyn <= eBase.DRAMDyn {
+		t.Error("context traffic must show up as DRAM dynamic energy")
+	}
+}
+
+// Property: Estimate is monotone in every counter — more events never
+// reduce energy.
+func TestEstimateMonotoneQuick(t *testing.T) {
+	f := func(dCyc, dInstr, dRF, dDRAM uint16) bool {
+		a := sampleMetrics()
+		b := sampleMetrics()
+		b.Cycles += int64(dCyc)
+		b.Instructions += int64(dInstr)
+		b.RFReads += int64(dRF)
+		b.DRAMDemandBytes += int64(dDRAM)
+		return Estimate(b, 16, DefaultCoefficients()).Total() >=
+			Estimate(a, 16, DefaultCoefficients()).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalesWithSMCount(t *testing.T) {
+	m := sampleMetrics()
+	e16 := Estimate(m, 16, DefaultCoefficients())
+	e32 := Estimate(m, 32, DefaultCoefficients())
+	if e32.Leakage <= e16.Leakage {
+		t.Error("leakage must scale with SM count")
+	}
+	if e32.DRAMDyn != e16.DRAMDyn {
+		t.Error("DRAM energy must not depend on SM count")
+	}
+}

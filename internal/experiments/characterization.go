@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/stats"
+)
+
+// ---- Table II ----
+
+// TableIIRow describes one benchmark's classification.
+type TableIIRow struct {
+	Abbrev, Name, Suite string
+	Class               kernels.Type
+	Limiter             kernels.Limiter
+	OccupancyCTAs       int
+}
+
+// TableIIResult is the benchmark table with the occupancy limiter that
+// produced each classification.
+type TableIIResult struct{ Rows []TableIIRow }
+
+// TableII reproduces the benchmark classification of Table II under the
+// Table I per-SM limits.
+func TableII() *TableIIResult {
+	limits := kernels.Limits{
+		MaxCTAs: 32, MaxWarps: 64, MaxThreads: 2048,
+		RegFileBytes: 256 << 10, SharedMemBytes: 96 << 10,
+	}
+	res := &TableIIResult{}
+	for _, name := range kernels.Names() {
+		p, err := kernels.ProfileByName(name)
+		if err != nil {
+			panic(err) // Names() and ProfileByName share one table
+		}
+		ctas, lim := p.Occupancy(limits)
+		res.Rows = append(res.Rows, TableIIRow{
+			Abbrev: p.Abbrev, Name: p.Name, Suite: p.Suite,
+			Class: p.Class, Limiter: lim, OccupancyCTAs: ctas,
+		})
+	}
+	return res
+}
+
+// Render prints the table.
+func (r *TableIIResult) Render() string {
+	t := &stats.Table{Header: []string{"bench", "application", "suite", "class", "limiter", "CTAs/SM"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Abbrev, row.Name, row.Suite, row.Class.String(), string(row.Limiter), row.OccupancyCTAs)
+	}
+	return "Table II. Benchmark applications and their baseline scheduling limit\n" + t.String()
+}
+
+// ---- Figure 2 ----
+
+// Figure2Row holds one benchmark's speedups under scaled resources.
+type Figure2Row struct {
+	Bench string
+	Class kernels.Type
+	// Speedups over the unscaled baseline, indexed like Figure2Labels.
+	Speedup [6]float64
+}
+
+// Figure2Labels names the six scaled configurations of Figure 2.
+var Figure2Labels = [6]string{
+	"Sched x1.5", "Sched x2", "Mem x1.5", "Mem x2", "Sched+Mem x1.5", "Sched+Mem x2",
+}
+
+// Figure2Result reports performance sensitivity to scheduling resources vs
+// on-chip memory, the Type-S/Type-R motivation experiment.
+type Figure2Result struct {
+	Rows []Figure2Row
+	// TypeSMean and TypeRMean are the per-class geometric means.
+	TypeSMean, TypeRMean [6]float64
+}
+
+// Figure2 runs every benchmark on the baseline policy with scheduling
+// resources and/or on-chip memory scaled by 1.5x and 2x.
+func Figure2(opts Options) (*Figure2Result, error) {
+	type variant struct {
+		sched, memv float64
+	}
+	variants := []variant{{1.5, 1}, {2, 1}, {1, 1.5}, {1, 2}, {1.5, 1.5}, {2, 2}}
+	res := &Figure2Result{}
+	var sVals, rVals [6][]float64
+	for _, name := range opts.benchNames() {
+		prof, err := opts.profile(name)
+		if err != nil {
+			return nil, err
+		}
+		grid := opts.grid(&prof)
+		base, err := runOne(opts.config(), prof, grid, gpu.Baseline(), false)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure2Row{Bench: name, Class: prof.Class}
+		for i, v := range variants {
+			cfg := opts.config()
+			cfg.SM.MaxCTAs = int(float64(cfg.SM.MaxCTAs) * v.sched)
+			cfg.SM.MaxWarps = int(float64(cfg.SM.MaxWarps) * v.sched)
+			cfg.SM.MaxThreads = int(float64(cfg.SM.MaxThreads) * v.sched)
+			cfg.SM.RegFileBytes = int(float64(cfg.SM.RegFileBytes) * v.memv)
+			cfg.SM.SharedMemBytes = int(float64(cfg.SM.SharedMemBytes) * v.memv)
+			r, err := runOne(cfg, prof, grid, gpu.Baseline(), false)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup[i] = stats.Speedup(r.Metrics.IPC(), base.Metrics.IPC())
+			if prof.Class == kernels.TypeS {
+				sVals[i] = append(sVals[i], row.Speedup[i])
+			} else {
+				rVals[i] = append(rVals[i], row.Speedup[i])
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for i := range variants {
+		res.TypeSMean[i] = stats.Geomean(sVals[i])
+		res.TypeRMean[i] = stats.Geomean(rVals[i])
+	}
+	return res, nil
+}
+
+// Render prints per-benchmark speedups and the per-class means.
+func (r *Figure2Result) Render() string {
+	t := &stats.Table{Header: append([]string{"bench"}, Figure2Labels[:]...)}
+	for _, row := range r.Rows {
+		vals := make([]any, len(row.Speedup))
+		for i, v := range row.Speedup {
+			vals[i] = v
+		}
+		t.AddRow(fmt.Sprintf("%s(%s)", row.Bench, row.Class), vals...)
+	}
+	sRow := make([]any, 6)
+	rRow := make([]any, 6)
+	for i := 0; i < 6; i++ {
+		sRow[i] = r.TypeSMean[i]
+		rRow[i] = r.TypeRMean[i]
+	}
+	t.AddRow("Type-S mean", sRow...)
+	t.AddRow("Type-R mean", rRow...)
+	return "Figure 2. Speedup from scaling scheduling resources vs on-chip memory\n" + t.String()
+}
+
+// ---- Figure 3 ----
+
+// Figure3Row is one benchmark's per-CTA on-chip cost.
+type Figure3Row struct {
+	Bench                string
+	RegBytes, ShmemBytes int
+}
+
+// Figure3Result reports the memory overhead of scheduling one more CTA.
+type Figure3Result struct {
+	Rows []Figure3Row
+	// RegShare is the register fraction of total overhead across the
+	// suite (the paper reports 88.7%).
+	RegShare float64
+}
+
+// Figure3 computes the static per-CTA register + shared-memory overhead.
+func Figure3() *Figure3Result {
+	res := &Figure3Result{}
+	var reg, tot float64
+	for _, name := range kernels.Names() {
+		p, _ := kernels.ProfileByName(name)
+		res.Rows = append(res.Rows, Figure3Row{
+			Bench: name, RegBytes: p.RegBytesPerCTA(), ShmemBytes: p.SharedMem,
+		})
+		reg += float64(p.RegBytesPerCTA())
+		tot += float64(p.CTAOverheadBytes())
+	}
+	res.RegShare = reg / tot
+	return res
+}
+
+// Render prints the overhead table.
+func (r *Figure3Result) Render() string {
+	t := &stats.Table{Header: []string{"bench", "Reg KB", "Shmem KB", "total KB"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench,
+			float64(row.RegBytes)/1024, float64(row.ShmemBytes)/1024,
+			float64(row.RegBytes+row.ShmemBytes)/1024)
+	}
+	return fmt.Sprintf("Figure 3. Per-CTA on-chip overhead (registers account for %.1f%%)\n%s",
+		100*r.RegShare, t.String())
+}
+
+// ---- Figure 4 ----
+
+// Figure4Result is the Convolution Separable case study: Baseline,
+// Full RF (Virtual Thread-like), Full RF + DRAM (Zorua-like) and ideal
+// hardware.
+type Figure4Result struct {
+	Labels        []string
+	NormPerf      []float64
+	ActiveThreads []float64
+}
+
+// Figure4 runs the CS benchmark under the four Section III-B setups.
+func Figure4(opts Options) (*Figure4Result, error) {
+	prof, err := opts.profile("CS")
+	if err != nil {
+		return nil, err
+	}
+	grid := opts.grid(&prof)
+	res := &Figure4Result{Labels: []string{"Baseline", "Full RF", "Full RF+DRAM", "Ideal"}}
+
+	base, err := runOne(opts.config(), prof, grid, gpu.Baseline(), false)
+	if err != nil {
+		return nil, err
+	}
+	fullRF, err := runOne(opts.config(), prof, grid, gpu.VirtualThread(), false)
+	if err != nil {
+		return nil, err
+	}
+	fullDRAM, err := runConfig(opts.config(), prof, grid, CfgRegDRAM)
+	if err != nil {
+		return nil, err
+	}
+	ideal := opts.config()
+	ideal.SM.MaxCTAs *= 8
+	ideal.SM.MaxWarps *= 8
+	ideal.SM.MaxThreads *= 8
+	ideal.SM.RegFileBytes *= 8
+	ideal.SM.SharedMemBytes *= 8
+	idealRun, err := runOne(ideal, prof, grid, gpu.Baseline(), false)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range []*Run{base, fullRF, fullDRAM, idealRun} {
+		res.NormPerf = append(res.NormPerf, stats.Speedup(r.Metrics.IPC(), base.Metrics.IPC()))
+		res.ActiveThreads = append(res.ActiveThreads, r.Metrics.AvgActiveThreads)
+	}
+	return res, nil
+}
+
+// Render prints the case-study bars.
+func (r *Figure4Result) Render() string {
+	t := &stats.Table{Header: []string{"config", "norm perf", "active threads/SM"}}
+	for i, l := range r.Labels {
+		t.AddRow(l, r.NormPerf[i], r.ActiveThreads[i])
+	}
+	return "Figure 4. CS case study: register-file relaxations vs ideal hardware\n" + t.String()
+}
+
+// ---- Figure 5 ----
+
+// Figure5Row summarizes one benchmark's register-usage windows.
+type Figure5Row struct {
+	Bench           string
+	Min, Mean, Max  float64
+	WindowsObserved int
+}
+
+// Figure5Result reports the fraction of allocated registers actually
+// accessed per 1000-instruction window.
+type Figure5Result struct {
+	Rows []Figure5Row
+	// MeanUsage is the suite-wide average (paper: 55.3%).
+	MeanUsage float64
+}
+
+// Figure5 runs every benchmark on the baseline with register-usage
+// tracking enabled.
+func Figure5(opts Options) (*Figure5Result, error) {
+	res := &Figure5Result{}
+	var all []float64
+	for _, name := range opts.benchNames() {
+		prof, err := opts.profile(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runOne(opts.config(), prof, opts.grid(&prof), gpu.Baseline(), true)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure5Row{Bench: name, Min: 1, WindowsObserved: len(r.Windows)}
+		for _, f := range r.Windows {
+			if f < row.Min {
+				row.Min = f
+			}
+			if f > row.Max {
+				row.Max = f
+			}
+			row.Mean += f
+			all = append(all, f)
+		}
+		if n := len(r.Windows); n > 0 {
+			row.Mean /= float64(n)
+		} else {
+			row.Min = 0
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.MeanUsage = stats.Mean(all)
+	return res, nil
+}
+
+// Render prints per-benchmark usage bounds.
+func (r *Figure5Result) Render() string {
+	t := &stats.Table{Header: []string{"bench", "min %", "mean %", "max %", "windows"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, 100*row.Min, 100*row.Mean, 100*row.Max, row.WindowsObserved)
+	}
+	return fmt.Sprintf("Figure 5. Register file usage per 1000-instruction window (suite mean %.1f%%)\n%s",
+		100*r.MeanUsage, t.String())
+}
+
+// ---- Table III ----
+
+// TableIIIResult reports the average cycles from a CTA's first issue to
+// its first complete stall.
+type TableIIIResult struct {
+	Cycles map[string]float64
+}
+
+// TableIII measures CTA time-to-full-stall on the baseline.
+func TableIII(opts Options) (*TableIIIResult, error) {
+	res := &TableIIIResult{Cycles: map[string]float64{}}
+	for _, name := range opts.benchNames() {
+		prof, err := opts.profile(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := runOne(opts.config(), prof, opts.grid(&prof), gpu.Baseline(), false)
+		if err != nil {
+			return nil, err
+		}
+		res.Cycles[name] = r.Metrics.CyclesToFirstStall
+	}
+	return res, nil
+}
+
+// Render prints the stall-latency table.
+func (r *TableIIIResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Table III. Average CTA execution time until complete stall\n")
+	t := &stats.Table{Header: []string{"app", "# cycles"}}
+	keys := make([]string, 0, len(r.Cycles))
+	for k := range r.Cycles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.AddRow(k, fmt.Sprintf("%.0f", r.Cycles[k]))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

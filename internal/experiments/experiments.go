@@ -1,0 +1,166 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections II, III, and VI). Each Figure*/Table* function runs
+// the required simulations and returns a result struct that carries both
+// the structured data (for tests and benchmarks) and a Render method that
+// prints the same rows/series the paper reports.
+//
+// Absolute numbers differ from the paper (the substrate is this
+// repository's simulator, not the authors' GPGPU-Sim testbed); the
+// reproduction targets are the shapes — orderings, approximate factors,
+// and crossovers — recorded side by side in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"finereg/internal/energy"
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/stats"
+)
+
+// Options scales the experiment machinery. Paper() reproduces the Table I
+// machine at full workload scale; Quick() is a proportionally shrunken
+// machine for tests and `go test -bench`.
+type Options struct {
+	// SMs is the machine size; the shared L2 and DRAM bandwidth scale
+	// proportionally (gpu.Config.Scale).
+	SMs int
+	// GridScale multiplies every benchmark's grid relative to its 16-SM
+	// reference size.
+	GridScale float64
+	// Benchmarks restricts the suite (nil = all of Table II).
+	Benchmarks []string
+}
+
+// Paper returns the full-scale configuration of Table I.
+func Paper() Options { return Options{SMs: 16, GridScale: 1.0} }
+
+// Quick returns a 4-SM machine with quarter-size grids: per-SM behaviour
+// is preserved (resources scale together) while runs stay test-sized.
+func Quick() Options { return Options{SMs: 4, GridScale: 0.25} }
+
+func (o Options) benchNames() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return kernels.Names()
+}
+
+func (o Options) config() gpu.Config { return gpu.Default().Scale(o.SMs) }
+
+func (o Options) grid(p *kernels.Profile) int {
+	g := int(float64(p.GridCTAs)*o.GridScale + 0.5)
+	if g < o.SMs {
+		g = o.SMs
+	}
+	return g
+}
+
+// profile returns the benchmark profile with its streaming footprint
+// scaled to the machine: the shared L2 and DRAM bandwidth scale with SM
+// count, so working sets must scale too or a small machine would be
+// artificially bandwidth-bound (per-SM hot regions are untouched).
+func (o Options) profile(name string) (kernels.Profile, error) {
+	p, err := kernels.ProfileByName(name)
+	if err != nil {
+		return p, err
+	}
+	scaled := int(float64(p.FootprintKB) * float64(o.SMs) / 16)
+	if scaled < 256 {
+		scaled = 256
+	}
+	p.FootprintKB = scaled
+	return p, nil
+}
+
+// ConfigName labels the paper's GPU configurations.
+type ConfigName string
+
+// The evaluated configurations (Figure 12/13 legends).
+const (
+	CfgBaseline ConfigName = "Baseline"
+	CfgVT       ConfigName = "VT"
+	CfgRegDRAM  ConfigName = "Reg+DRAM"
+	CfgRegMutex ConfigName = "VT+RegMutex"
+	CfgFineReg  ConfigName = "FineReg"
+)
+
+// StandardConfigs returns the five configurations in plot order.
+func StandardConfigs() []ConfigName {
+	return []ConfigName{CfgBaseline, CfgVT, CfgRegDRAM, CfgRegMutex, CfgFineReg}
+}
+
+// Run is one simulation outcome.
+type Run struct {
+	Metrics *stats.Metrics
+	Energy  energy.Breakdown
+	// Windows holds Figure 5 register-usage fractions when tracking was
+	// enabled.
+	Windows []float64
+}
+
+// runOne executes one benchmark under one machine configuration + policy.
+func runOne(cfg gpu.Config, prof kernels.Profile, grid int, pf gpu.PolicyFactory, trackReg bool) (*Run, error) {
+	cfg.SM.TrackRegUsage = trackReg
+	k, err := kernels.Build(prof, grid)
+	if err != nil {
+		return nil, err
+	}
+	g := gpu.New(cfg, pf)
+	m, err := g.Run(k)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", prof.Abbrev, g.SMs[0].Pol.Name(), err)
+	}
+	r := &Run{Metrics: m, Energy: energy.Estimate(m, cfg.NumSMs, energy.DefaultCoefficients())}
+	if trackReg {
+		r.Windows = g.RegWindowFracs()
+	}
+	return r, nil
+}
+
+// runConfig dispatches by configuration name. Reg+DRAM and VT+RegMutex
+// follow the paper's per-application tuning methodology: "we varied the
+// number of pending CTAs in the off-chip memory to find its
+// best-performance setup for every application" (Reg+DRAM, caps {0,2,4})
+// and "we merged Virtual Thread into RegMutex to empirically find the
+// optimal operating point of RegMutex (i.e., the ratio of BRS and SRP)"
+// (SRP fractions {0.10..0.30}). The best run by IPC is reported.
+func runConfig(cfg gpu.Config, prof kernels.Profile, grid int, name ConfigName) (*Run, error) {
+	switch name {
+	case CfgBaseline:
+		return runOne(cfg, prof, grid, gpu.Baseline(), false)
+	case CfgVT:
+		return runOne(cfg, prof, grid, gpu.VirtualThread(), false)
+	case CfgRegDRAM:
+		var best *Run
+		for _, cap := range []int{0, 2, 4} {
+			r, err := runOne(cfg, prof, grid, gpu.RegDRAM(cap), false)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || r.Metrics.IPC() > best.Metrics.IPC() {
+				best = r
+			}
+		}
+		best.Metrics.Config = string(CfgRegDRAM)
+		return best, nil
+	case CfgRegMutex:
+		var best *Run
+		for _, frac := range []float64{0.10, 0.15, 0.20, 0.25, 0.30} {
+			r, err := runOne(cfg, prof, grid, gpu.VTRegMutex(frac), false)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || r.Metrics.IPC() > best.Metrics.IPC() {
+				best = r
+			}
+		}
+		best.Metrics.Config = string(CfgRegMutex)
+		return best, nil
+	case CfgFineReg:
+		return runOne(cfg, prof, grid, gpu.FineRegDefault(), false)
+	default:
+		return nil, fmt.Errorf("experiments: unknown configuration %q", name)
+	}
+}

@@ -1,0 +1,15 @@
+package experiments
+
+import "testing"
+
+// TestFigure2BarrierRegression pins the barrier-park scheduler bug: SG's
+// per-iteration CTA barriers once deadlocked under Figure 2's scaled
+// configurations because parked warps stayed schedulable and corrupted the
+// awake-warp accounting.
+func TestFigure2BarrierRegression(t *testing.T) {
+	o := Quick()
+	o.Benchmarks = []string{"SG"}
+	if _, err := Figure2(o); err != nil {
+		t.Fatal(err)
+	}
+}

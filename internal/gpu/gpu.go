@@ -1,0 +1,231 @@
+// Package gpu assembles the full machine: NumSMs streaming multiprocessors
+// sharing an L2 and a DRAM channel, a grid dispatcher, and the run loop
+// that advances all SMs in lockstep (skipping globally idle gaps) until
+// the kernel's grid drains. It produces the stats.Metrics every experiment
+// consumes.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+
+	"finereg/internal/kernels"
+	"finereg/internal/mem"
+	"finereg/internal/sm"
+	"finereg/internal/stats"
+)
+
+// Config is the whole-GPU configuration (Table I by default).
+type Config struct {
+	NumSMs int
+	SM     sm.Config
+
+	L2Bytes, L2Ways int
+	// DRAMLatency is the unloaded off-chip latency in core cycles;
+	// DRAMBytesPerCycle the channel bandwidth (352.5 GB/s at 1126 MHz ≈
+	// 313 bytes/cycle for the full chip).
+	DRAMLatency       int64
+	DRAMBytesPerCycle float64
+	Lat               mem.Latencies
+
+	// MaxCycles aborts runaway simulations (0 = default guard).
+	MaxCycles int64
+}
+
+// Default returns the Table I machine.
+func Default() Config {
+	return Config{
+		NumSMs:            16,
+		SM:                sm.Default(),
+		L2Bytes:           2 << 20,
+		L2Ways:            8,
+		DRAMLatency:       600,
+		DRAMBytesPerCycle: 313,
+		Lat:               mem.DefaultLatencies(),
+	}
+}
+
+// Scale resizes the machine to n SMs, scaling DRAM bandwidth and L2
+// capacity proportionally so per-SM behaviour is preserved (used by the
+// Figure 18 sweep and by fast test configurations).
+func (c Config) Scale(n int) Config {
+	ratio := float64(n) / float64(c.NumSMs)
+	c.DRAMBytesPerCycle *= ratio
+	l2 := int(float64(c.L2Bytes) * ratio)
+	// Keep a whole number of sets.
+	unit := c.L2Ways * mem.LineBytes
+	if l2 < unit {
+		l2 = unit
+	}
+	c.L2Bytes = l2 / unit * unit
+	c.NumSMs = n
+	return c
+}
+
+// PolicyFactory builds one policy instance per SM.
+type PolicyFactory func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy
+
+// dispatcher hands out grid CTA IDs first-come-first-served.
+type dispatcher struct {
+	next, total int
+}
+
+func (d *dispatcher) NextCTAID() int {
+	if d.next >= d.total {
+		return -1
+	}
+	id := d.next
+	d.next++
+	return id
+}
+
+func (d *dispatcher) Remaining() int { return d.total - d.next }
+
+// GPU is one simulated machine instance. Build a fresh GPU per run.
+type GPU struct {
+	Cfg  Config
+	Hier *mem.Hierarchy
+	SMs  []*sm.SM
+	disp *dispatcher
+}
+
+// New constructs the GPU with one policy instance per SM.
+func New(cfg Config, pf PolicyFactory) *GPU {
+	hier := mem.NewHierarchy(cfg.L2Bytes, cfg.L2Ways, cfg.DRAMLatency, cfg.DRAMBytesPerCycle, cfg.Lat)
+	g := &GPU{Cfg: cfg, Hier: hier, disp: &dispatcher{}}
+	for i := 0; i < cfg.NumSMs; i++ {
+		g.SMs = append(g.SMs, sm.New(i, cfg.SM, hier, g.disp, pf(cfg.SM, hier)))
+	}
+	return g
+}
+
+// ErrDeadlock is returned when residents remain but no SM can make
+// progress — always a policy bug, surfaced rather than hung.
+var ErrDeadlock = errors.New("gpu: simulation deadlock")
+
+// ErrCycleBudget is returned when the MaxCycles guard trips.
+var ErrCycleBudget = errors.New("gpu: cycle budget exceeded")
+
+const farFuture = int64(1) << 62
+
+// Run executes kernel k to completion and returns its metrics.
+func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
+	g.disp.next, g.disp.total = 0, k.GridCTAs
+	maxCycles := g.Cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 200_000_000
+	}
+
+	for _, s := range g.SMs {
+		s.BindKernel(k, 0)
+	}
+
+	var now int64
+	var residentInt, activeInt, threadsInt float64
+
+	for {
+		next := farFuture
+		anyResident := false
+		for _, s := range g.SMs {
+			n, _ := s.Tick(now)
+			if n < next {
+				next = n
+			}
+			if len(s.Residents()) > 0 {
+				anyResident = true
+			}
+		}
+		if !anyResident && g.disp.Remaining() == 0 {
+			break
+		}
+		if next == farFuture {
+			return nil, fmt.Errorf("%w: %d CTAs unfinished at cycle %d\n%s", ErrDeadlock, g.residentCount(), now, g.debugResidents())
+		}
+		if next <= now {
+			next = now + 1
+		}
+		dt := float64(next - now)
+		for _, s := range g.SMs {
+			residentInt += float64(s.ResidentCTAs()) * dt
+			activeInt += float64(s.ActiveCTAs()) * dt
+			threadsInt += float64(s.ActiveThreads()) * dt
+		}
+		now = next
+		if now > maxCycles {
+			return nil, fmt.Errorf("%w: %d cycles", ErrCycleBudget, now)
+		}
+	}
+
+	return g.collect(k, now, residentInt, activeInt, threadsInt), nil
+}
+
+// debugResidents dumps stuck CTA/warp state for deadlock reports.
+func (g *GPU) debugResidents() string {
+	out := ""
+	for _, s := range g.SMs {
+		for _, c := range s.Residents() {
+			out += fmt.Sprintf("SM%d CTA%d state=%d %s\n", s.ID, c.ID, c.State, c.DebugWarps())
+		}
+	}
+	return out
+}
+
+func (g *GPU) residentCount() int {
+	n := 0
+	for _, s := range g.SMs {
+		n += len(s.Residents())
+	}
+	return n
+}
+
+func (g *GPU) collect(k *kernels.Kernel, cycles int64, residentInt, activeInt, threadsInt float64) *stats.Metrics {
+	m := &stats.Metrics{
+		Benchmark: k.Name(),
+		Config:    g.SMs[0].Pol.Name(),
+		Cycles:    cycles,
+	}
+	var stallSum float64
+	var stallN int64
+	for _, s := range g.SMs {
+		m.Instructions += s.Cnt.Instructions
+		m.CTAsLaunched += s.Cnt.CTAsLaunched
+		m.CTASwitches += s.Cnt.CTASwitches
+		m.CTAStalls += s.Cnt.CTAStallEvents
+		m.RFReads += s.Cnt.RFReads
+		m.RFWrites += s.Cnt.RFWrites
+		m.PCRFReads += s.Cnt.PCRFReads
+		m.PCRFWrites += s.Cnt.PCRFWrites
+		m.SharedAccesses += s.Cnt.SharedAccesses
+		m.L1Accesses += s.L1.Accesses
+		m.L1Misses += s.L1.Misses
+		stallSum += s.Cnt.StallLatencySum
+		stallN += s.Cnt.StallLatencyN
+		m.RegDepletionStallCycles += s.Cnt.DepletionCycles
+	}
+	m.RegDepletionStallCycles /= int64(len(g.SMs))
+	if stallN > 0 {
+		m.CyclesToFirstStall = stallSum / float64(stallN)
+	}
+	if cycles > 0 {
+		denom := float64(cycles) * float64(len(g.SMs))
+		m.AvgResidentCTAs = residentInt / denom
+		m.AvgActiveCTAs = activeInt / denom
+		m.AvgActiveThreads = threadsInt / denom
+	}
+	m.L2Accesses = g.Hier.L2.Accesses
+	m.L2Misses = g.Hier.L2.Misses
+	m.DRAMDemandBytes = g.Hier.DRAM.Bytes(mem.TrafficDemand)
+	m.DRAMContextBytes = g.Hier.DRAM.Bytes(mem.TrafficContext)
+	m.DRAMBitvecBytes = g.Hier.DRAM.Bytes(mem.TrafficBitvec)
+	return m
+}
+
+// RegWindowFracs concatenates the Figure 5 instrumentation windows of all
+// SMs (only populated when SM.TrackRegUsage is set).
+func (g *GPU) RegWindowFracs() []float64 {
+	var out []float64
+	for _, s := range g.SMs {
+		out = append(out, s.Cnt.RegWindowFracs...)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package gpu
+
+import (
+	"finereg/internal/core"
+	"finereg/internal/mem"
+	"finereg/internal/regfile"
+	"finereg/internal/sm"
+)
+
+// Named policy factories for the paper's GPU configurations.
+
+// Baseline is the conventional GPU (no CTA switching).
+func Baseline() PolicyFactory {
+	return func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy {
+		return regfile.NewBaseline(cfg)
+	}
+}
+
+// VirtualThread is the Virtual Thread configuration [45].
+func VirtualThread() PolicyFactory {
+	return func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy {
+		return regfile.NewVirtualThread(cfg, hier)
+	}
+}
+
+// RegDRAM is the Reg+DRAM (Zorua-like) configuration with the given
+// per-SM off-chip pending-CTA cap.
+func RegDRAM(dramCap int) PolicyFactory {
+	return func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy {
+		return regfile.NewRegDRAM(cfg, hier, dramCap)
+	}
+}
+
+// VTRegMutex is the VT+RegMutex configuration with srpFrac of the register
+// file as the shared register pool.
+func VTRegMutex(srpFrac float64) PolicyFactory {
+	return func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy {
+		return regfile.NewRegMutex(cfg, hier, srpFrac)
+	}
+}
+
+// FineReg is the paper's configuration with the given ACRF/PCRF split in
+// bytes (the default evaluation splits the 256 KB file 128/128).
+func FineReg(acrfBytes, pcrfBytes int) PolicyFactory {
+	return func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy {
+		return core.NewFineReg(cfg, hier, acrfBytes, pcrfBytes)
+	}
+}
+
+// FineRegDefault splits the configured register file in half.
+func FineRegDefault() PolicyFactory {
+	return func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy {
+		half := cfg.RegFileBytes / 2
+		return core.NewFineReg(cfg, hier, half, cfg.RegFileBytes-half)
+	}
+}
+
+// FineRegFull is the ablation that stores full register sets in the PCRF
+// instead of live-only sets.
+func FineRegFull(acrfBytes, pcrfBytes int) PolicyFactory {
+	return func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy {
+		f := core.NewFineReg(cfg, hier, acrfBytes, pcrfBytes)
+		f.CompactLive = false
+		return f
+	}
+}

@@ -1,0 +1,91 @@
+package gpu
+
+import (
+	"testing"
+
+	"finereg/internal/kernels"
+)
+
+// testConfig is a 4-SM machine with proportionally scaled shared resources
+// so unit tests stay fast while preserving per-SM behaviour.
+func testConfig() Config { return Default().Scale(4) }
+
+func TestBaselineCompletesAllBenchmarks(t *testing.T) {
+	cfg := testConfig()
+	for _, name := range kernels.Names() {
+		p, err := kernels.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := kernels.MustBuild(p, 32)
+		g := New(cfg, Baseline())
+		m, err := g.Run(k)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Instructions == 0 || m.Cycles == 0 {
+			t.Errorf("%s: no progress (instrs=%d cycles=%d)", name, m.Instructions, m.Cycles)
+		}
+		if m.CTAsLaunched != 32 {
+			t.Errorf("%s: launched %d CTAs, want 32", name, m.CTAsLaunched)
+		}
+	}
+}
+
+func TestAllPoliciesComplete(t *testing.T) {
+	cfg := testConfig()
+	policies := map[string]PolicyFactory{
+		"baseline": Baseline(),
+		"vt":       VirtualThread(),
+		"regdram":  RegDRAM(4),
+		"regmutex": VTRegMutex(0.25),
+		"finereg":  FineRegDefault(),
+	}
+	for _, bench := range []string{"CS", "LB", "BF"} {
+		p, err := kernels.ProfileByName(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var baseInstr int64
+		for _, polName := range []string{"baseline", "vt", "regdram", "regmutex", "finereg"} {
+			k := kernels.MustBuild(p, 64)
+			g := New(cfg, policies[polName])
+			m, err := g.Run(k)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, polName, err)
+			}
+			if m.CTAsLaunched != 64 {
+				t.Errorf("%s/%s: launched %d CTAs, want 64", bench, polName, m.CTAsLaunched)
+			}
+			// Every policy must execute the same dynamic instruction count —
+			// management changes timing, not work.
+			if polName == "baseline" {
+				baseInstr = m.Instructions
+			} else if m.Instructions != baseInstr {
+				t.Errorf("%s/%s: executed %d instructions, baseline executed %d",
+					bench, polName, m.Instructions, baseInstr)
+			}
+			t.Logf("%s/%-9s IPC=%6.3f cycles=%8d resident=%5.1f active=%5.1f switches=%d",
+				bench, polName, m.IPC(), m.Cycles, m.AvgResidentCTAs, m.AvgActiveCTAs, m.CTASwitches)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	p, _ := kernels.ProfileByName("CS")
+	run := func() (int64, int64) {
+		k := kernels.MustBuild(p, 48)
+		g := New(cfg, FineRegDefault())
+		m, err := g.Run(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles, m.Instructions
+	}
+	c1, i1 := run()
+	c2, i2 := run()
+	if c1 != c2 || i1 != i2 {
+		t.Errorf("simulation not deterministic: (%d,%d) vs (%d,%d)", c1, i1, c2, i2)
+	}
+}

@@ -1,0 +1,444 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a textual assembly format for the ISA, so kernels
+// can be written, inspected and versioned as plain files rather than Go
+// code. EmitAsm and Assemble round-trip exactly.
+//
+// Format:
+//
+//	; comments run to end of line (// also works)
+//	.kernel NAME        kernel name
+//	.regs N             minimum register allocation (optional)
+//	label:              label at the next instruction
+//	  MOV R0, #5        immediate forms use #
+//	  IADD R3, R1, R2
+//	  LDG R4, [R0] pattern=strided stride=4 region=1 footprint=8388608
+//	  STG [R0], R4 region=15
+//	  @R2 BRA label trip=16        predicated branch with loop trip count
+//	  @R2 BRA label diverge        forward divergent branch
+//	  BAR
+//	  EXIT
+
+// EmitAsm renders a program in the assembly format accepted by Assemble.
+// Branch targets become generated labels (L<pc>).
+func EmitAsm(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".kernel %s\n.regs %d\n", p.Name, p.RegsPerThread)
+	targets := map[int]bool{}
+	for pc := range p.Instrs {
+		if in := &p.Instrs[pc]; in.Op == OpBRA {
+			targets[in.Target] = true
+		}
+	}
+	for pc := range p.Instrs {
+		if targets[pc] {
+			fmt.Fprintf(&sb, "L%d:\n", pc)
+		}
+		sb.WriteString("  ")
+		sb.WriteString(emitInstr(&p.Instrs[pc]))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func emitInstr(in *Instr) string {
+	var sb strings.Builder
+	if in.Op == OpBRA && in.Pred.Valid() {
+		fmt.Fprintf(&sb, "@%s ", in.Pred)
+	}
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpNOP, OpBAR, OpEXIT:
+	case OpBRA:
+		fmt.Fprintf(&sb, " L%d", in.Target)
+		if in.Trip > 0 {
+			fmt.Fprintf(&sb, " trip=%d", in.Trip)
+		}
+		if in.Diverge {
+			sb.WriteString(" diverge")
+		}
+	case OpLDG, OpLDS:
+		addr := "-"
+		if in.NSrc > 0 {
+			addr = in.Srcs[0].String()
+		}
+		fmt.Fprintf(&sb, " %s, [%s]", in.Dst, addr)
+		if in.Op == OpLDG {
+			sb.WriteString(emitMem(&in.Mem))
+		}
+	case OpSTG, OpSTS:
+		addr := "-"
+		if in.NSrc > 1 {
+			addr = in.Srcs[1].String()
+		}
+		fmt.Fprintf(&sb, " [%s], %s", addr, in.Srcs[0])
+		if in.Op == OpSTG {
+			sb.WriteString(emitMem(&in.Mem))
+		}
+	case OpMOV:
+		if in.NSrc == 0 {
+			fmt.Fprintf(&sb, " %s, #%d", in.Dst, in.Imm)
+		} else {
+			fmt.Fprintf(&sb, " %s, %s", in.Dst, in.Srcs[0])
+		}
+	case OpIADD:
+		if in.NSrc == 1 {
+			fmt.Fprintf(&sb, " %s, %s, #%d", in.Dst, in.Srcs[0], in.Imm)
+		} else {
+			fmt.Fprintf(&sb, " %s, %s, %s", in.Dst, in.Srcs[0], in.Srcs[1])
+		}
+	case OpSHF:
+		fmt.Fprintf(&sb, " %s, %s, #%d", in.Dst, in.Srcs[0], in.Imm)
+	case OpMUFU:
+		fmt.Fprintf(&sb, " %s, %s", in.Dst, in.Srcs[0])
+	default: // 2- and 3-source ALU forms
+		parts := []string{in.Dst.String()}
+		for _, r := range in.Srcs[:in.NSrc] {
+			parts = append(parts, r.String())
+		}
+		sb.WriteString(" " + strings.Join(parts, ", "))
+	}
+	return sb.String()
+}
+
+func emitMem(m *MemDesc) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, " pattern=%s", m.Pattern)
+	if m.Stride != 0 {
+		fmt.Fprintf(&sb, " stride=%d", m.Stride)
+	}
+	if m.Region != 0 {
+		fmt.Fprintf(&sb, " region=%d", m.Region)
+	}
+	if m.Footprint != 0 {
+		fmt.Fprintf(&sb, " footprint=%d", m.Footprint)
+	}
+	return sb.String()
+}
+
+// Assemble parses the assembly format into a validated Program.
+func Assemble(text string) (*Program, error) {
+	a := &assembler{b: NewBuilder("kernel")}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+	}
+	if a.name != "" {
+		a.b.name = a.name
+	}
+	return a.b.Build(a.minRegs)
+}
+
+type assembler struct {
+	b       *Builder
+	name    string
+	minRegs int
+}
+
+func (a *assembler) line(raw string) error {
+	// Strip comments (';' or '//'; '#' marks immediates, not comments).
+	if i := strings.IndexByte(raw, ';'); i >= 0 {
+		raw = raw[:i]
+	}
+	if i := strings.Index(raw, "//"); i >= 0 {
+		raw = raw[:i]
+	}
+	line := strings.TrimSpace(raw)
+	if line == "" {
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(line, ".kernel"):
+		a.name = strings.TrimSpace(strings.TrimPrefix(line, ".kernel"))
+		return nil
+	case strings.HasPrefix(line, ".regs"):
+		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".regs")))
+		if err != nil {
+			return fmt.Errorf("bad .regs: %w", err)
+		}
+		a.minRegs = n
+		return nil
+	case strings.HasSuffix(line, ":"):
+		a.b.Label(strings.TrimSuffix(line, ":"))
+		return nil
+	}
+	return a.instr(line)
+}
+
+// instr parses one instruction line.
+func (a *assembler) instr(line string) error {
+	pred := RegNone
+	if strings.HasPrefix(line, "@") {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("dangling predicate %q", line)
+		}
+		r, err := parseReg(line[1:sp])
+		if err != nil {
+			return err
+		}
+		pred = r
+		line = strings.TrimSpace(line[sp+1:])
+	}
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	ops, kv, err := splitOperands(rest)
+	if err != nil {
+		return err
+	}
+
+	switch strings.ToUpper(mnemonic) {
+	case "NOP":
+		a.b.Nop()
+	case "BAR":
+		a.b.Bar()
+	case "EXIT":
+		a.b.Exit()
+	case "BRA":
+		if len(ops) != 1 {
+			return fmt.Errorf("BRA wants a label, got %v", ops)
+		}
+		trip := int(kv["trip"])
+		_, diverge := kv["diverge"]
+		if pred == RegNone {
+			a.b.Bra(ops[0])
+		} else {
+			a.b.BraCond(pred, ops[0], trip, diverge)
+		}
+	case "MOV":
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 {
+			return fmt.Errorf("MOV wants 2 operands, got %v", ops)
+		}
+		if imm, ok := parseImm(ops[1]); ok {
+			a.b.MovI(dst, imm)
+		} else {
+			src, err := parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			a.b.Mov(dst, src)
+		}
+	case "IADD":
+		dst, srcA, err := parseTwo(ops)
+		if err != nil {
+			return err
+		}
+		if imm, ok := parseImm(ops[2]); ok {
+			a.b.IAddI(dst, srcA, imm)
+		} else {
+			srcB, err := parseReg(ops[2])
+			if err != nil {
+				return err
+			}
+			a.b.IAdd(dst, srcA, srcB)
+		}
+	case "SHF":
+		dst, srcA, err := parseTwo(ops)
+		if err != nil {
+			return err
+		}
+		imm, ok := parseImm(ops[2])
+		if !ok {
+			return fmt.Errorf("SHF wants an immediate shift, got %q", ops[2])
+		}
+		a.b.Shf(dst, srcA, imm)
+	case "IMUL", "ISETP", "FADD", "FMUL":
+		dst, srcA, err := parseTwo(ops)
+		if err != nil {
+			return err
+		}
+		srcB, err := parseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		switch strings.ToUpper(mnemonic) {
+		case "IMUL":
+			a.b.IMul(dst, srcA, srcB)
+		case "ISETP":
+			a.b.ISetp(dst, srcA, srcB)
+		case "FADD":
+			a.b.FAdd(dst, srcA, srcB)
+		case "FMUL":
+			a.b.FMul(dst, srcA, srcB)
+		}
+	case "FFMA":
+		if len(ops) != 4 {
+			return fmt.Errorf("FFMA wants 4 operands, got %v", ops)
+		}
+		regs := make([]Reg, 4)
+		for i, o := range ops {
+			r, err := parseReg(o)
+			if err != nil {
+				return err
+			}
+			regs[i] = r
+		}
+		a.b.FFma(regs[0], regs[1], regs[2], regs[3])
+	case "MUFU":
+		if len(ops) != 2 {
+			return fmt.Errorf("MUFU wants 2 operands, got %v", ops)
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		srcA, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Mufu(dst, srcA)
+	case "LDG", "LDS":
+		if len(ops) != 2 {
+			return fmt.Errorf("%s wants dst, [addr], got %v", mnemonic, ops)
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		addr, err := parseAddr(ops[1])
+		if err != nil {
+			return err
+		}
+		if strings.ToUpper(mnemonic) == "LDG" {
+			a.b.Ldg(dst, addr, memFromKV(kv))
+		} else {
+			a.b.Lds(dst, addr)
+		}
+	case "STG", "STS":
+		if len(ops) != 2 {
+			return fmt.Errorf("%s wants [addr], src, got %v", mnemonic, ops)
+		}
+		addr, err := parseAddr(ops[0])
+		if err != nil {
+			return err
+		}
+		val, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		if strings.ToUpper(mnemonic) == "STG" {
+			a.b.Stg(val, addr, memFromKV(kv))
+		} else {
+			a.b.Sts(val, addr)
+		}
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	return nil
+}
+
+// splitOperands separates comma-separated operands from trailing key=value
+// attributes (and bare flags like "diverge").
+func splitOperands(rest string) (ops []string, kv map[string]int64, err error) {
+	kv = map[string]int64{}
+	fields := strings.Fields(rest)
+	var opText []string
+	for _, f := range fields {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			n, perr := strconv.ParseInt(v, 10, 64)
+			if perr != nil && k != "pattern" {
+				return nil, nil, fmt.Errorf("bad attribute %q: %w", f, perr)
+			}
+			if k == "pattern" {
+				n, perr = patternCode(v)
+				if perr != nil {
+					return nil, nil, perr
+				}
+			}
+			kv[k] = n
+			continue
+		}
+		if f == "diverge" {
+			kv["diverge"] = 1
+			continue
+		}
+		opText = append(opText, f)
+	}
+	for _, part := range strings.Split(strings.Join(opText, " "), ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			ops = append(ops, p)
+		}
+	}
+	return ops, kv, nil
+}
+
+func patternCode(s string) (int64, error) {
+	switch s {
+	case "coalesced":
+		return int64(PatCoalesced), nil
+	case "strided":
+		return int64(PatStrided), nil
+	case "random":
+		return int64(PatRandom), nil
+	case "broadcast":
+		return int64(PatBroadcast), nil
+	default:
+		return 0, fmt.Errorf("unknown access pattern %q", s)
+	}
+}
+
+func memFromKV(kv map[string]int64) MemDesc {
+	return MemDesc{
+		Pattern:   Pattern(kv["pattern"]),
+		Stride:    int(kv["stride"]),
+		Region:    uint8(kv["region"]),
+		Footprint: kv["footprint"],
+	}
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "-" {
+		return RegNone, nil
+	}
+	if len(s) < 2 || (s[0] != 'R' && s[0] != 'r') {
+		return RegNone, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= MaxRegs {
+		return RegNone, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (uint32, bool) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(strings.TrimPrefix(s, "#"), 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+func parseAddr(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return RegNone, fmt.Errorf("bad address operand %q", s)
+	}
+	return parseReg(s[1 : len(s)-1])
+}
+
+// parseTwo parses the destination and first source of a 3-operand form.
+func parseTwo(ops []string) (dst, srcA Reg, err error) {
+	if len(ops) != 3 {
+		return RegNone, RegNone, fmt.Errorf("want 3 operands, got %v", ops)
+	}
+	if dst, err = parseReg(ops[0]); err != nil {
+		return
+	}
+	srcA, err = parseReg(ops[1])
+	return
+}

@@ -1,0 +1,134 @@
+package isa
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; a saxpy-shaped kernel
+.kernel demo
+.regs 12
+  MOV R0, #0
+  MOV R1, #16
+top:
+  LDG R2, [R0] pattern=coalesced region=1 footprint=1048576
+  FFMA R3, R2, R2, R3
+  IADD R0, R0, #1
+  ISETP R4, R0, R1
+  @R4 BRA top trip=16
+  STG [R0], R3 region=15 footprint=1048576
+  EXIT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" {
+		t.Errorf("name = %q, want demo", p.Name)
+	}
+	if p.RegsPerThread != 12 {
+		t.Errorf("regs = %d, want 12 (from .regs)", p.RegsPerThread)
+	}
+	if p.Len() != 9 {
+		t.Fatalf("len = %d, want 9", p.Len())
+	}
+	ldg := p.At(2)
+	if ldg.Op != OpLDG || ldg.Mem.Region != 1 || ldg.Mem.Footprint != 1<<20 {
+		t.Errorf("LDG parsed wrong: %+v", ldg)
+	}
+	bra := p.At(6)
+	if bra.Op != OpBRA || bra.Target != 2 || bra.Trip != 16 || bra.Pred != 4 {
+		t.Errorf("BRA parsed wrong: %+v", bra)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"bad-mnemonic", "FROB R1, R2\nEXIT"},
+		{"bad-register", "MOV R99, #1\nEXIT"},
+		{"undefined-label", "BRA nowhere\nEXIT"},
+		{"bad-regs-directive", ".regs banana\nEXIT"},
+		{"dangling-predicate", "@R1\nEXIT"},
+		{"bad-address", "LDG R1, R0\nEXIT"},
+		{"bad-shift", "SHF R1, R0, R2\nEXIT"},
+		{"bad-attribute", "LDG R1, [R0] footprint=huge\nEXIT"},
+		{"bad-pattern", "LDG R1, [R0] pattern=zigzag\nEXIT"},
+		{"no-exit", "MOV R0, #1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Errorf("Assemble accepted %q", c.src)
+			}
+		})
+	}
+}
+
+func TestAssembleDivergeFlag(t *testing.T) {
+	src := `
+  ISETP R1, R0, R0
+  @R1 BRA else diverge
+  IADD R2, R0, #1
+  BRA join
+else:
+  IADD R2, R0, #2
+join:
+  EXIT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.At(1).Diverge {
+		t.Error("diverge flag not parsed")
+	}
+}
+
+func TestEmitAsmRoundTripHandWritten(t *testing.T) {
+	b := NewBuilder("rt")
+	b.MovI(0, 7)
+	b.Shf(1, 0, 2)
+	b.Label("loop")
+	b.Ldg(2, 1, MemDesc{Pattern: PatStrided, Stride: 4, Region: 3, Footprint: 4 << 20})
+	b.Mufu(3, 2)
+	b.Sts(3, 1)
+	b.Bar()
+	b.Lds(4, 1)
+	b.FAdd(5, 4, 3)
+	b.IAddI(0, 0, 1)
+	b.ISetp(6, 0, 1)
+	b.Loop(6, "loop", 8)
+	b.Stg(5, 1, MemDesc{Pattern: PatCoalesced, Region: 15})
+	b.Exit()
+	p := b.MustBuild(20)
+
+	p2, err := Assemble(EmitAsm(p))
+	if err != nil {
+		t.Fatalf("round-trip assemble failed: %v\n%s", err, EmitAsm(p))
+	}
+	if p2.Name != p.Name || p2.RegsPerThread != p.RegsPerThread {
+		t.Errorf("header mismatch: %s/%d vs %s/%d", p2.Name, p2.RegsPerThread, p.Name, p.RegsPerThread)
+	}
+	if !reflect.DeepEqual(p.Instrs, p2.Instrs) {
+		for i := range p.Instrs {
+			if !reflect.DeepEqual(p.Instrs[i], p2.Instrs[i]) {
+				t.Errorf("pc %d: %+v != %+v", i, p.Instrs[i], p2.Instrs[i])
+			}
+		}
+	}
+}
+
+func TestEmitAsmContainsLabels(t *testing.T) {
+	b := NewBuilder("labels")
+	b.MovI(1, 1)
+	b.Label("top").Nop()
+	b.Loop(1, "top", 4)
+	b.Exit()
+	asm := EmitAsm(b.MustBuild(0))
+	if !strings.Contains(asm, "L1:") || !strings.Contains(asm, "BRA L1 trip=4") {
+		t.Errorf("emitted asm missing label structure:\n%s", asm)
+	}
+}

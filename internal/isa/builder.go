@@ -1,0 +1,216 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program instruction by instruction with symbolic
+// labels, so kernel generators read like assembly listings. Forward label
+// references are fixed up at Build time.
+type Builder struct {
+	name   string
+	instrs []Instr
+	labels map[string]int
+	fixups []fixup
+	maxReg Reg
+	errs   []error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// PC returns the address the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.instrs) }
+
+// Label binds name to the current PC.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+func (b *Builder) note(r Reg) {
+	if r.Valid() && r > b.maxReg {
+		b.maxReg = r
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.note(in.Dst)
+	for _, s := range in.Srcs[:in.NSrc] {
+		b.note(s)
+	}
+	b.note(in.Pred)
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+// Nop emits a NOP.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNOP, Dst: RegNone, Pred: RegNone}) }
+
+// MovI emits MOV dst, #imm.
+func (b *Builder) MovI(dst Reg, imm uint32) *Builder {
+	return b.emit(Instr{Op: OpMOV, Dst: dst, Imm: imm, Pred: RegNone})
+}
+
+// Mov emits MOV dst, src.
+func (b *Builder) Mov(dst, src Reg) *Builder {
+	return b.emit(Instr{Op: OpMOV, Dst: dst, Srcs: [3]Reg{src}, NSrc: 1, Pred: RegNone})
+}
+
+// IAdd emits IADD dst, a, c.
+func (b *Builder) IAdd(dst, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpIADD, Dst: dst, Srcs: [3]Reg{a, c}, NSrc: 2, Pred: RegNone})
+}
+
+// IAddI emits IADD dst, a, #imm (immediate addend).
+func (b *Builder) IAddI(dst, a Reg, imm uint32) *Builder {
+	return b.emit(Instr{Op: OpIADD, Dst: dst, Srcs: [3]Reg{a}, NSrc: 1, Imm: imm, Pred: RegNone})
+}
+
+// IMul emits IMUL dst, a, c.
+func (b *Builder) IMul(dst, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpIMUL, Dst: dst, Srcs: [3]Reg{a, c}, NSrc: 2, Pred: RegNone})
+}
+
+// ISetp emits ISETP dst, a, c (dst = a < c).
+func (b *Builder) ISetp(dst, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpISETP, Dst: dst, Srcs: [3]Reg{a, c}, NSrc: 2, Pred: RegNone})
+}
+
+// Shf emits SHF dst, a, #imm.
+func (b *Builder) Shf(dst, a Reg, imm uint32) *Builder {
+	return b.emit(Instr{Op: OpSHF, Dst: dst, Srcs: [3]Reg{a}, NSrc: 1, Imm: imm, Pred: RegNone})
+}
+
+// FAdd emits FADD dst, a, c.
+func (b *Builder) FAdd(dst, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpFADD, Dst: dst, Srcs: [3]Reg{a, c}, NSrc: 2, Pred: RegNone})
+}
+
+// FMul emits FMUL dst, a, c.
+func (b *Builder) FMul(dst, a, c Reg) *Builder {
+	return b.emit(Instr{Op: OpFMUL, Dst: dst, Srcs: [3]Reg{a, c}, NSrc: 2, Pred: RegNone})
+}
+
+// FFma emits FFMA dst, a, c, acc.
+func (b *Builder) FFma(dst, a, c, acc Reg) *Builder {
+	return b.emit(Instr{Op: OpFFMA, Dst: dst, Srcs: [3]Reg{a, c, acc}, NSrc: 3, Pred: RegNone})
+}
+
+// Mufu emits MUFU dst, a (special-function op).
+func (b *Builder) Mufu(dst, a Reg) *Builder {
+	return b.emit(Instr{Op: OpMUFU, Dst: dst, Srcs: [3]Reg{a}, NSrc: 1, Pred: RegNone})
+}
+
+// Ldg emits LDG dst, [addr] with the given global-memory descriptor.
+func (b *Builder) Ldg(dst, addr Reg, mem MemDesc) *Builder {
+	in := Instr{Op: OpLDG, Dst: dst, Pred: RegNone, Mem: mem}
+	if addr.Valid() {
+		in.Srcs[0] = addr
+		in.NSrc = 1
+	}
+	return b.emit(in)
+}
+
+// Stg emits STG [addr], val with the given global-memory descriptor.
+func (b *Builder) Stg(val, addr Reg, mem MemDesc) *Builder {
+	in := Instr{Op: OpSTG, Dst: RegNone, Srcs: [3]Reg{val}, NSrc: 1, Pred: RegNone, Mem: mem}
+	if addr.Valid() {
+		in.Srcs[1] = addr
+		in.NSrc = 2
+	}
+	return b.emit(in)
+}
+
+// Lds emits LDS dst, [addr] (shared memory).
+func (b *Builder) Lds(dst, addr Reg) *Builder {
+	in := Instr{Op: OpLDS, Dst: dst, Pred: RegNone}
+	if addr.Valid() {
+		in.Srcs[0] = addr
+		in.NSrc = 1
+	}
+	return b.emit(in)
+}
+
+// Sts emits STS [addr], val (shared memory).
+func (b *Builder) Sts(val, addr Reg) *Builder {
+	in := Instr{Op: OpSTS, Dst: RegNone, Srcs: [3]Reg{val}, NSrc: 1, Pred: RegNone}
+	if addr.Valid() {
+		in.Srcs[1] = addr
+		in.NSrc = 2
+	}
+	return b.emit(in)
+}
+
+// Bra emits an unconditional branch to label.
+func (b *Builder) Bra(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.instrs), label: label})
+	return b.emit(Instr{Op: OpBRA, Dst: RegNone, Pred: RegNone})
+}
+
+// BraCond emits a conditional branch on pred to label. trip is the loop
+// trip count the timing model uses when the target turns out to be
+// backward; diverge marks a forward branch whose warp splits both ways.
+func (b *Builder) BraCond(pred Reg, label string, trip int, diverge bool) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.instrs), label: label})
+	return b.emit(Instr{Op: OpBRA, Dst: RegNone, Pred: pred, Trip: trip, Diverge: diverge})
+}
+
+// Loop emits a conditional backward branch on pred to label with the given
+// trip count (sugar over BraCond for readability at call sites).
+func (b *Builder) Loop(pred Reg, label string, trip int) *Builder {
+	return b.BraCond(pred, label, trip, false)
+}
+
+// Bar emits a CTA barrier.
+func (b *Builder) Bar() *Builder { return b.emit(Instr{Op: OpBAR, Dst: RegNone, Pred: RegNone}) }
+
+// Exit emits EXIT.
+func (b *Builder) Exit() *Builder { return b.emit(Instr{Op: OpEXIT, Dst: RegNone, Pred: RegNone}) }
+
+// Build resolves labels and returns the validated program. The returned
+// program's RegsPerThread is max(highest register referenced + 1, minRegs),
+// letting generators reserve head-room the way real allocators round up.
+func (b *Builder) Build(minRegs int) (*Program, error) {
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("undefined label %q at pc %d", f.label, f.pc))
+			continue
+		}
+		b.instrs[f.pc].Target = pc
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	regs := int(b.maxReg) + 1
+	if b.maxReg == RegNone {
+		regs = 1
+	}
+	if minRegs > regs {
+		regs = minRegs
+	}
+	p := &Program{Name: b.name, Instrs: b.instrs, RegsPerThread: regs}
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; kernel generators are static
+// program text, so a failure is a programming bug.
+func (b *Builder) MustBuild(minRegs int) *Program {
+	p, err := b.Build(minRegs)
+	if err != nil {
+		panic(fmt.Sprintf("isa: building %s: %v", b.name, err))
+	}
+	return p
+}

@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders one instruction in a SASS-like listing style, e.g.
+// "IADD R3, R1, R2" or "@R5 BRA 0x0010 (trip=8)".
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Pred.Valid() && in.Op == OpBRA {
+		fmt.Fprintf(&sb, "@%v ", in.Pred)
+	}
+	sb.WriteString(in.Op.String())
+	var ops []string
+	switch in.Op {
+	case OpBRA:
+		ops = append(ops, fmt.Sprintf("0x%04X", in.Target*8))
+	case OpLDG, OpLDS:
+		ops = append(ops, in.Dst.String())
+		addr := "-"
+		if in.NSrc > 0 {
+			addr = in.Srcs[0].String()
+		}
+		ops = append(ops, "["+addr+"]")
+	case OpSTG, OpSTS:
+		addr := "-"
+		if in.NSrc > 1 {
+			addr = in.Srcs[1].String()
+		}
+		ops = append(ops, "["+addr+"]")
+		if in.NSrc > 0 {
+			ops = append(ops, in.Srcs[0].String())
+		}
+	case OpNOP, OpBAR, OpEXIT:
+		// no operands
+	default:
+		if in.Dst.Valid() {
+			ops = append(ops, in.Dst.String())
+		}
+		for _, s := range in.Srcs[:in.NSrc] {
+			ops = append(ops, s.String())
+		}
+		if in.NSrc == 0 || in.Op == OpSHF || (in.Op == OpIADD && in.NSrc == 1) {
+			ops = append(ops, fmt.Sprintf("#%d", in.Imm))
+		}
+	}
+	if len(ops) > 0 {
+		sb.WriteString(" ")
+		sb.WriteString(strings.Join(ops, ", "))
+	}
+	if in.Op == OpBRA && in.Trip > 0 {
+		fmt.Fprintf(&sb, " (trip=%d)", in.Trip)
+	}
+	if in.Op == OpBRA && in.Diverge {
+		sb.WriteString(" (diverge)")
+	}
+	return sb.String()
+}
+
+// Disassemble renders the whole program, one instruction per line with
+// byte-style PC addresses (8 bytes per instruction, as in the paper's
+// Figure 7 listing).
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// kernel %s: %d instructions, %d regs/thread\n", p.Name, len(p.Instrs), p.RegsPerThread)
+	for pc := range p.Instrs {
+		fmt.Fprintf(&sb, "/*%04X*/  %s\n", pc*8, p.Instrs[pc].String())
+	}
+	return sb.String()
+}

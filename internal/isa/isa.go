@@ -1,0 +1,263 @@
+// Package isa defines a compact, SASS-like GPU instruction set used by the
+// FineReg simulator, its compiler liveness pass, and the functional SIMT
+// executor.
+//
+// The ISA is deliberately small: it carries exactly the information the
+// paper's mechanisms depend on — register def/use sets (for live-register
+// analysis), latency classes (ALU / SFU / shared / global memory), control
+// flow (loops and divergent branches), and memory access descriptors that
+// drive the cache and DRAM models. Programs are straight arrays of
+// instructions addressed by integer PC; one PC step equals one instruction.
+package isa
+
+import "fmt"
+
+// Reg names an architectural per-thread register R0..R63. The 64-register
+// ceiling matches the paper's 64-bit live-register bit vector (Section V-A:
+// "The bit vector is 64-bit long, i.e., maximum number of registers per
+// thread").
+type Reg uint8
+
+// MaxRegs is the number of addressable architectural registers per thread.
+const MaxRegs = 64
+
+// RegNone marks an absent register operand (no destination, no predicate).
+const RegNone Reg = 0xFF
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r < MaxRegs }
+
+// String renders the register in SASS style ("R7"), or "-" for RegNone.
+func (r Reg) String() string {
+	if r == RegNone {
+		return "-"
+	}
+	return fmt.Sprintf("R%d", uint8(r))
+}
+
+// Op enumerates instruction opcodes. The set mirrors the SASS subset that
+// appears in the paper's Figure 7 example (MOV/LD/IADD/ISETP/STS/BRA...)
+// plus the floating-point and SFU operations the synthetic benchmarks need.
+type Op uint8
+
+const (
+	// OpNOP does nothing; it still occupies an issue slot.
+	OpNOP Op = iota
+	// OpMOV copies Srcs[0] (or Imm when NSrc==0) into Dst.
+	OpMOV
+	// OpIADD writes Srcs[0]+Srcs[1] (integer) into Dst.
+	OpIADD
+	// OpIMUL writes Srcs[0]*Srcs[1] (integer) into Dst.
+	OpIMUL
+	// OpISETP writes 1 into Dst when Srcs[0] < Srcs[1], else 0. Used as a
+	// predicate producer for conditional branches.
+	OpISETP
+	// OpSHF writes Srcs[0] << Imm into Dst (ALU latency class).
+	OpSHF
+	// OpFADD writes float32(Srcs[0]) + float32(Srcs[1]) into Dst.
+	OpFADD
+	// OpFMUL writes float32(Srcs[0]) * float32(Srcs[1]) into Dst.
+	OpFMUL
+	// OpFFMA writes Srcs[0]*Srcs[1]+Srcs[2] (float32) into Dst.
+	OpFFMA
+	// OpMUFU is the special-function unit class (reciprocal, rsqrt...);
+	// functionally it computes 1/x of Srcs[0].
+	OpMUFU
+	// OpLDG loads 4 bytes per thread from global memory into Dst. The
+	// address stream is described by Mem; Srcs[0] (optional) is the
+	// address-forming register, recorded so liveness sees the use.
+	OpLDG
+	// OpSTG stores Srcs[0] to global memory (address register Srcs[1]).
+	OpSTG
+	// OpLDS loads from shared memory into Dst (address register Srcs[0]).
+	OpLDS
+	// OpSTS stores Srcs[0] into shared memory (address register Srcs[1]).
+	OpSTS
+	// OpBRA branches to Target. With Pred==RegNone the branch is
+	// unconditional; otherwise it is conditional on the predicate register.
+	// A backward target makes it a loop branch with trip count Trip.
+	OpBRA
+	// OpBAR is a CTA-wide barrier; all warps of the CTA must arrive.
+	OpBAR
+	// OpEXIT terminates the thread (warp, in the timing model).
+	OpEXIT
+)
+
+var opNames = [...]string{
+	OpNOP: "NOP", OpMOV: "MOV", OpIADD: "IADD", OpIMUL: "IMUL",
+	OpISETP: "ISETP", OpSHF: "SHF", OpFADD: "FADD", OpFMUL: "FMUL",
+	OpFFMA: "FFMA", OpMUFU: "MUFU", OpLDG: "LDG", OpSTG: "STG",
+	OpLDS: "LDS", OpSTS: "STS", OpBRA: "BRA", OpBAR: "BAR", OpEXIT: "EXIT",
+}
+
+// String returns the SASS-style mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Class buckets opcodes by execution resource / latency behaviour.
+type Class uint8
+
+const (
+	// ClassALU covers integer and single-precision float pipeline ops.
+	ClassALU Class = iota
+	// ClassSFU covers special-function unit ops (longer fixed latency).
+	ClassSFU
+	// ClassMemGlobal covers global loads/stores; latency comes from the
+	// memory hierarchy model.
+	ClassMemGlobal
+	// ClassMemShared covers shared-memory accesses (fixed on-chip latency).
+	ClassMemShared
+	// ClassControl covers branches and EXIT.
+	ClassControl
+	// ClassSync covers barriers.
+	ClassSync
+)
+
+// ClassOf returns the latency class of an opcode.
+func ClassOf(o Op) Class {
+	switch o {
+	case OpMUFU:
+		return ClassSFU
+	case OpLDG, OpSTG:
+		return ClassMemGlobal
+	case OpLDS, OpSTS:
+		return ClassMemShared
+	case OpBRA, OpEXIT:
+		return ClassControl
+	case OpBAR:
+		return ClassSync
+	default:
+		return ClassALU
+	}
+}
+
+// Pattern describes how the 32 threads of a warp spread a memory access
+// across addresses; it determines how many 128-byte transactions the
+// coalescer emits.
+type Pattern uint8
+
+const (
+	// PatCoalesced: consecutive 4-byte words — one 128 B transaction.
+	PatCoalesced Pattern = iota
+	// PatStrided: constant stride between lanes — Stride transactions
+	// (capped at 32).
+	PatStrided
+	// PatRandom: scattered — 32 transactions.
+	PatRandom
+	// PatBroadcast: all lanes read one address — one transaction.
+	PatBroadcast
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatCoalesced:
+		return "coalesced"
+	case PatStrided:
+		return "strided"
+	case PatRandom:
+		return "random"
+	case PatBroadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("pattern(%d)", uint8(p))
+	}
+}
+
+// MemDesc describes the address stream of a global-memory instruction for
+// the timing model. Region selects one of the kernel's logical arrays;
+// Footprint bounds the bytes the kernel touches in that region and thereby
+// controls cache behaviour; Stride applies to PatStrided (in 4-byte words).
+type MemDesc struct {
+	Pattern   Pattern
+	Stride    int
+	Region    uint8
+	Footprint int64
+}
+
+// Instr is a single machine instruction.
+//
+// NSrc gives how many leading entries of Srcs are meaningful. Pred, when
+// valid, is an extra source (a predicate guarding a conditional BRA).
+// Target/Trip/Diverge only apply to OpBRA: a Target at a lower PC denotes a
+// loop back-edge that the timing model takes Trip times per entry; a
+// forward conditional branch with Diverge set makes warps execute both
+// sides under PDOM reconvergence.
+type Instr struct {
+	Op      Op
+	Dst     Reg
+	Srcs    [3]Reg
+	NSrc    uint8
+	Pred    Reg
+	Target  int
+	Trip    int
+	Diverge bool
+	Imm     uint32
+	Mem     MemDesc
+}
+
+// Sources returns the meaningful source registers, excluding the predicate.
+func (in *Instr) Sources() []Reg { return in.Srcs[:in.NSrc] }
+
+// Reads reports every register the instruction reads (sources + predicate).
+func (in *Instr) Reads(visit func(Reg)) {
+	for _, r := range in.Srcs[:in.NSrc] {
+		if r.Valid() {
+			visit(r)
+		}
+	}
+	if in.Pred.Valid() {
+		visit(in.Pred)
+	}
+}
+
+// WritesReg reports whether the instruction defines a destination register.
+func (in *Instr) WritesReg() bool { return in.Dst.Valid() }
+
+// IsBranch reports whether the instruction is a control transfer.
+func (in *Instr) IsBranch() bool { return in.Op == OpBRA }
+
+// IsConditional reports whether a branch depends on a predicate.
+func (in *Instr) IsConditional() bool { return in.Op == OpBRA && in.Pred.Valid() }
+
+// IsBackward reports whether a branch at pc jumps backwards (a loop edge).
+func (in *Instr) IsBackward(pc int) bool { return in.Op == OpBRA && in.Target <= pc }
+
+// IsMem reports whether the instruction touches global or shared memory.
+func (in *Instr) IsMem() bool {
+	c := ClassOf(in.Op)
+	return c == ClassMemGlobal || c == ClassMemShared
+}
+
+// IsGlobalMem reports whether the instruction touches global memory.
+func (in *Instr) IsGlobalMem() bool { return ClassOf(in.Op) == ClassMemGlobal }
+
+// IsLoad reports whether the instruction is a load (writes a register from
+// memory).
+func (in *Instr) IsLoad() bool { return in.Op == OpLDG || in.Op == OpLDS }
+
+// Program is a straight-line array of instructions addressed by PC index,
+// together with the static register demand the CTA scheduler allocates.
+type Program struct {
+	// Name identifies the kernel (benchmark abbreviation in Table II).
+	Name string
+	// Instrs is the instruction stream; PC i executes Instrs[i].
+	Instrs []Instr
+	// RegsPerThread is the statically allocated architectural register
+	// count per thread; every operand must reference a register below it.
+	RegsPerThread int
+}
+
+// Len returns the static instruction count.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// At returns the instruction at pc. It panics on out-of-range pc, which
+// always indicates a simulator bug rather than a recoverable condition.
+func (p *Program) At(pc int) *Instr { return &p.Instrs[pc] }
+
+// MaxLiveRegs returns RegsPerThread, the worst-case live set size.
+func (p *Program) MaxLiveRegs() int { return p.RegsPerThread }

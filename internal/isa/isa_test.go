@@ -1,0 +1,231 @@
+package isa
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if got := Reg(7).String(); got != "R7" {
+		t.Errorf("Reg(7).String() = %q, want R7", got)
+	}
+	if got := RegNone.String(); got != "-" {
+		t.Errorf("RegNone.String() = %q, want -", got)
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	for r := Reg(0); r < MaxRegs; r++ {
+		if !r.Valid() {
+			t.Fatalf("Reg(%d).Valid() = false, want true", r)
+		}
+	}
+	if Reg(MaxRegs).Valid() {
+		t.Errorf("Reg(%d).Valid() = true, want false", MaxRegs)
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone.Valid() = true, want false")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{OpIADD, ClassALU}, {OpFFMA, ClassALU}, {OpMOV, ClassALU},
+		{OpMUFU, ClassSFU},
+		{OpLDG, ClassMemGlobal}, {OpSTG, ClassMemGlobal},
+		{OpLDS, ClassMemShared}, {OpSTS, ClassMemShared},
+		{OpBRA, ClassControl}, {OpEXIT, ClassControl},
+		{OpBAR, ClassSync},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.op); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestInstrPredicates(t *testing.T) {
+	ldg := Instr{Op: OpLDG, Dst: 1, Pred: RegNone}
+	if !ldg.IsMem() || !ldg.IsGlobalMem() || !ldg.IsLoad() {
+		t.Error("LDG should be mem, global, load")
+	}
+	sts := Instr{Op: OpSTS, Srcs: [3]Reg{2}, NSrc: 1, Dst: RegNone, Pred: RegNone}
+	if !sts.IsMem() || sts.IsGlobalMem() || sts.IsLoad() {
+		t.Error("STS should be mem, not global, not load")
+	}
+	bra := Instr{Op: OpBRA, Target: 0, Pred: 3, Dst: RegNone}
+	if !bra.IsBranch() || !bra.IsConditional() {
+		t.Error("predicated BRA should be conditional branch")
+	}
+	if !bra.IsBackward(5) {
+		t.Error("BRA to 0 from pc 5 should be backward")
+	}
+	if bra.IsBackward(0) != true {
+		t.Error("BRA to own pc counts as backward (self-loop)")
+	}
+}
+
+func TestInstrReads(t *testing.T) {
+	in := Instr{Op: OpFFMA, Dst: 0, Srcs: [3]Reg{1, 2, 3}, NSrc: 3, Pred: 4}
+	var got []Reg
+	in.Reads(func(r Reg) { got = append(got, r) })
+	want := []Reg{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Reads visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reads visited %v, want %v", got, want)
+		}
+	}
+}
+
+func buildLoopProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("test-loop")
+	b.MovI(0, 0).
+		MovI(1, 16).
+		Label("top").
+		Ldg(2, 0, MemDesc{Pattern: PatCoalesced, Footprint: 1 << 20}).
+		FMul(3, 2, 2).
+		Stg(3, 0, MemDesc{Pattern: PatCoalesced, Region: 1, Footprint: 1 << 20}).
+		IAddI(0, 0, 1).
+		ISetp(4, 0, 1).
+		Loop(4, "top", 16).
+		Exit()
+	return b.MustBuild(0)
+}
+
+func TestBuilderLoop(t *testing.T) {
+	p := buildLoopProgram(t)
+	if p.Len() != 9 {
+		t.Fatalf("program length = %d, want 9", p.Len())
+	}
+	bra := p.At(7)
+	if bra.Op != OpBRA || bra.Target != 2 || bra.Trip != 16 {
+		t.Errorf("loop branch = %+v, want BRA target 2 trip 16", bra)
+	}
+	if p.RegsPerThread != 5 {
+		t.Errorf("RegsPerThread = %d, want 5", p.RegsPerThread)
+	}
+}
+
+func TestBuilderMinRegs(t *testing.T) {
+	b := NewBuilder("minregs")
+	b.MovI(0, 1).Exit()
+	p := b.MustBuild(40)
+	if p.RegsPerThread != 40 {
+		t.Errorf("RegsPerThread = %d, want 40 (rounded up)", p.RegsPerThread)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Bra("nowhere").Exit()
+	if _, err := b.Build(0); err == nil {
+		t.Fatal("Build with undefined label should fail")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x").Nop().Label("x").Exit()
+	if _, err := b.Build(0); err == nil {
+		t.Fatal("Build with duplicate label should fail")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"empty", &Program{Name: "e", RegsPerThread: 1}},
+		{"no-exit", &Program{Name: "n", RegsPerThread: 1, Instrs: []Instr{{Op: OpNOP, Dst: RegNone, Pred: RegNone}}}},
+		{"reg-oob", &Program{Name: "r", RegsPerThread: 2, Instrs: []Instr{
+			{Op: OpMOV, Dst: 5, Pred: RegNone},
+			{Op: OpEXIT, Dst: RegNone, Pred: RegNone},
+		}}},
+		{"target-oob", &Program{Name: "t", RegsPerThread: 1, Instrs: []Instr{
+			{Op: OpBRA, Dst: RegNone, Pred: RegNone, Target: 99},
+			{Op: OpEXIT, Dst: RegNone, Pred: RegNone},
+		}}},
+		{"backward-no-trip", &Program{Name: "b", RegsPerThread: 1, Instrs: []Instr{
+			{Op: OpNOP, Dst: RegNone, Pred: RegNone},
+			{Op: OpBRA, Dst: RegNone, Pred: 0, Target: 0},
+			{Op: OpEXIT, Dst: RegNone, Pred: RegNone},
+		}}},
+		{"backward-uncond", &Program{Name: "u", RegsPerThread: 1, Instrs: []Instr{
+			{Op: OpNOP, Dst: RegNone, Pred: RegNone},
+			{Op: OpBRA, Dst: RegNone, Pred: RegNone, Target: 0, Trip: 4},
+			{Op: OpEXIT, Dst: RegNone, Pred: RegNone},
+		}}},
+		{"load-no-dst", &Program{Name: "l", RegsPerThread: 1, Instrs: []Instr{
+			{Op: OpLDG, Dst: RegNone, Pred: RegNone},
+			{Op: OpEXIT, Dst: RegNone, Pred: RegNone},
+		}}},
+		{"too-many-regs", &Program{Name: "m", RegsPerThread: 65, Instrs: []Instr{
+			{Op: OpEXIT, Dst: RegNone, Pred: RegNone},
+		}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Validate(c.p)
+			if err == nil {
+				t.Fatal("Validate accepted invalid program")
+			}
+			if !errors.Is(err, ErrInvalidProgram) {
+				t.Errorf("error %v should wrap ErrInvalidProgram", err)
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	p := buildLoopProgram(t)
+	if err := Validate(p); err != nil {
+		t.Fatalf("Validate(valid program) = %v", err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := buildLoopProgram(t)
+	asm := Disassemble(p)
+	for _, want := range []string{"MOV R0, #0", "LDG R2, [R0]", "FMUL R3, R2, R2", "@R4 BRA 0x0010 (trip=16)", "EXIT"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestOpStringTotal(t *testing.T) {
+	for op := OpNOP; op <= OpEXIT; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "OP(") {
+			t.Errorf("Op(%d) has no name", op)
+		}
+	}
+	if s := Op(200).String(); !strings.HasPrefix(s, "OP(") {
+		t.Errorf("unknown op string = %q", s)
+	}
+}
+
+// Property: ClassOf is total and stable — every opcode maps to exactly one
+// class, and memory predicates agree with the class.
+func TestClassConsistencyQuick(t *testing.T) {
+	f := func(raw uint8) bool {
+		op := Op(raw % uint8(OpEXIT+1))
+		in := Instr{Op: op, Dst: RegNone, Pred: RegNone}
+		c := ClassOf(op)
+		memByClass := c == ClassMemGlobal || c == ClassMemShared
+		return in.IsMem() == memByClass
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidProgram is wrapped by every validation failure so callers can
+// test with errors.Is.
+var ErrInvalidProgram = errors.New("isa: invalid program")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidProgram, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the structural invariants the simulator and liveness pass
+// rely on:
+//
+//   - the program is non-empty and ends in EXIT;
+//   - every register operand is below RegsPerThread (and RegsPerThread ≤ 64,
+//     the live bit-vector width);
+//   - every branch target is in range;
+//   - every backward branch carries a positive trip count and a predicate
+//     (an unconditional backward branch would never terminate);
+//   - source/destination counts match the opcode's shape.
+func Validate(p *Program) error {
+	if p == nil || len(p.Instrs) == 0 {
+		return invalidf("empty program")
+	}
+	if p.RegsPerThread < 1 || p.RegsPerThread > MaxRegs {
+		return invalidf("%s: RegsPerThread %d out of range [1,%d]", p.Name, p.RegsPerThread, MaxRegs)
+	}
+	if p.Instrs[len(p.Instrs)-1].Op != OpEXIT {
+		return invalidf("%s: last instruction must be EXIT, got %v", p.Name, p.Instrs[len(p.Instrs)-1].Op)
+	}
+	checkReg := func(pc int, r Reg, role string) error {
+		if r == RegNone {
+			return nil
+		}
+		if int(r) >= p.RegsPerThread {
+			return invalidf("%s: pc %d: %s register %v >= RegsPerThread %d", p.Name, pc, role, r, p.RegsPerThread)
+		}
+		return nil
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if in.NSrc > 3 {
+			return invalidf("%s: pc %d: NSrc %d > 3", p.Name, pc, in.NSrc)
+		}
+		if err := checkReg(pc, in.Dst, "destination"); err != nil {
+			return err
+		}
+		for _, s := range in.Srcs[:in.NSrc] {
+			if err := checkReg(pc, s, "source"); err != nil {
+				return err
+			}
+		}
+		if err := checkReg(pc, in.Pred, "predicate"); err != nil {
+			return err
+		}
+		if in.Op == OpBRA {
+			if in.Target < 0 || in.Target >= len(p.Instrs) {
+				return invalidf("%s: pc %d: branch target %d out of range [0,%d)", p.Name, pc, in.Target, len(p.Instrs))
+			}
+			if in.IsBackward(pc) {
+				if in.Trip < 1 {
+					return invalidf("%s: pc %d: backward branch needs Trip >= 1, got %d", p.Name, pc, in.Trip)
+				}
+				if !in.Pred.Valid() {
+					return invalidf("%s: pc %d: backward branch must be conditional", p.Name, pc)
+				}
+			}
+		}
+		if in.IsLoad() && !in.Dst.Valid() {
+			return invalidf("%s: pc %d: load without destination", p.Name, pc)
+		}
+		if (in.Op == OpSTG || in.Op == OpSTS) && in.NSrc == 0 {
+			return invalidf("%s: pc %d: store without value source", p.Name, pc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package kernels
+
+// Limits captures the per-SM resources that cap CTA occupancy. It mirrors
+// the Table I machine but is explicit so experiments can scale scheduling
+// resources and memory independently (Figure 2).
+type Limits struct {
+	// MaxCTAs, MaxWarps, MaxThreads are the scheduling resources.
+	MaxCTAs, MaxWarps, MaxThreads int
+	// RegFileBytes and SharedMemBytes are the on-chip memory resources.
+	RegFileBytes, SharedMemBytes int
+}
+
+// Limiter identifies which resource binds a kernel's baseline occupancy.
+type Limiter string
+
+// Limiter values, grouped by the paper's two classes.
+const (
+	LimitCTA     Limiter = "cta-slots"     // Type-S
+	LimitWarp    Limiter = "warp-slots"    // Type-S
+	LimitThread  Limiter = "thread-slots"  // Type-S
+	LimitRegFile Limiter = "register-file" // Type-R
+	LimitShmem   Limiter = "shared-memory" // Type-R
+)
+
+// IsScheduling reports whether the limiter is a scheduling resource
+// (Type-S) rather than on-chip memory (Type-R).
+func (l Limiter) IsScheduling() bool {
+	return l == LimitCTA || l == LimitWarp || l == LimitThread
+}
+
+// Occupancy computes how many CTAs of this profile fit on one SM under the
+// given limits, and which resource binds first. Ties go to the scheduling
+// resource (the paper classifies a benchmark as Type-R only when memory
+// binds strictly before the scheduler).
+func (p *Profile) Occupancy(l Limits) (ctas int, limiter Limiter) {
+	type cand struct {
+		n   int
+		lim Limiter
+	}
+	cands := []cand{
+		{l.MaxCTAs, LimitCTA},
+		{l.MaxWarps / p.WarpsPerCTA, LimitWarp},
+		{l.MaxThreads / p.ThreadsPerCTA(), LimitThread},
+	}
+	if rb := p.RegBytesPerCTA(); rb > 0 {
+		cands = append(cands, cand{l.RegFileBytes / rb, LimitRegFile})
+	}
+	if p.SharedMem > 0 {
+		cands = append(cands, cand{l.SharedMemBytes / p.SharedMem, LimitShmem})
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.n < best.n {
+			best = c
+		}
+	}
+	return best.n, best.lim
+}
+
+// Classify returns the Type the profile exhibits under the given limits —
+// the ground truth the Class field is checked against in tests.
+func (p *Profile) Classify(l Limits) Type {
+	_, lim := p.Occupancy(l)
+	if lim.IsScheduling() {
+		return TypeS
+	}
+	return TypeR
+}

@@ -1,0 +1,62 @@
+// Package liveness implements the compile-time analysis FineReg depends on
+// (paper Section IV-B and V-A): for every static instruction it computes the
+// set of architectural registers that are live — used as a source by some
+// subsequent instruction before being redefined — encoded as a 64-bit bit
+// vector, one bit per register.
+//
+// The pass builds a control-flow graph over the SASS-like program, computes
+// dominators and post-dominators (the PDOM reconvergence points the paper's
+// Figure 9 traversal relies on), and runs a standard backward may-liveness
+// fixpoint. The resulting per-PC vectors are what the simulated Register
+// Management Unit fetches (through its bit-vector cache) when a CTA stalls.
+package liveness
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"finereg/internal/isa"
+)
+
+// BitVec is a 64-bit register liveness vector: bit i set means Ri is live.
+// It matches the paper's storage format ("a simple bit vector ... 64-bit
+// long, i.e., maximum number of registers per thread").
+type BitVec uint64
+
+// Set returns v with register r marked live.
+func (v BitVec) Set(r isa.Reg) BitVec { return v | 1<<uint(r) }
+
+// Clear returns v with register r marked dead.
+func (v BitVec) Clear(r isa.Reg) BitVec { return v &^ (1 << uint(r)) }
+
+// Has reports whether register r is live in v.
+func (v BitVec) Has(r isa.Reg) bool { return v&(1<<uint(r)) != 0 }
+
+// Union returns the element-wise OR of v and o.
+func (v BitVec) Union(o BitVec) BitVec { return v | o }
+
+// Count returns the number of live registers.
+func (v BitVec) Count() int { return bits.OnesCount64(uint64(v)) }
+
+// Regs returns the live registers in ascending order.
+func (v BitVec) Regs() []isa.Reg {
+	out := make([]isa.Reg, 0, v.Count())
+	for w := uint64(v); w != 0; w &= w - 1 {
+		out = append(out, isa.Reg(bits.TrailingZeros64(w)))
+	}
+	return out
+}
+
+// String renders the live set as "{R0,R2,R5}".
+func (v BitVec) String() string {
+	regs := v.Regs()
+	parts := make([]string, len(regs))
+	for i, r := range regs {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// GoString makes %#v output readable in test failures.
+func (v BitVec) GoString() string { return fmt.Sprintf("BitVec(%s)", v.String()) }

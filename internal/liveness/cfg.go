@@ -1,0 +1,127 @@
+package liveness
+
+import (
+	"fmt"
+	"strings"
+
+	"finereg/internal/isa"
+)
+
+// Block is a basic block: a maximal straight-line instruction range
+// [Start, End) with control entering only at Start and leaving only at
+// End-1.
+type Block struct {
+	// ID is the block's index in CFG.Blocks, in program order.
+	ID int
+	// Start and End delimit the half-open PC range of the block.
+	Start, End int
+	// Succs and Preds are CFG edges by block ID, in deterministic order
+	// (fallthrough before branch target).
+	Succs, Preds []int
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// CFG is the control-flow graph of a program. Block 0 is the entry block.
+type CFG struct {
+	Prog   *isa.Program
+	Blocks []*Block
+	// blockOf maps each PC to the ID of its containing block.
+	blockOf []int
+}
+
+// BlockOf returns the block containing pc.
+func (g *CFG) BlockOf(pc int) *Block { return g.Blocks[g.blockOf[pc]] }
+
+// BuildCFG partitions the program into basic blocks and connects them.
+// Leaders are: PC 0, every branch target, and every instruction following a
+// branch or EXIT. A conditional branch has two successors (fallthrough,
+// target); an unconditional branch only its target; EXIT has none.
+func BuildCFG(p *isa.Program) (*CFG, error) {
+	if err := isa.Validate(p); err != nil {
+		return nil, fmt.Errorf("liveness: %w", err)
+	}
+	n := p.Len()
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc := 0; pc < n; pc++ {
+		in := p.At(pc)
+		switch {
+		case in.IsBranch():
+			leader[in.Target] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case in.Op == isa.OpEXIT:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	g := &CFG{Prog: p, blockOf: make([]int, n)}
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, &Block{ID: len(g.Blocks), Start: pc})
+		}
+		b := g.Blocks[len(g.Blocks)-1]
+		g.blockOf[pc] = b.ID
+		b.End = pc + 1
+	}
+	addEdge := func(from, to int) {
+		fb, tb := g.Blocks[from], g.Blocks[to]
+		for _, s := range fb.Succs {
+			if s == to {
+				return
+			}
+		}
+		fb.Succs = append(fb.Succs, to)
+		tb.Preds = append(tb.Preds, from)
+	}
+	for _, b := range g.Blocks {
+		last := p.At(b.End - 1)
+		switch {
+		case last.Op == isa.OpEXIT:
+			// terminal: no successors
+		case last.IsBranch():
+			if last.IsConditional() && b.End < n {
+				addEdge(b.ID, g.blockOf[b.End])
+			}
+			addEdge(b.ID, g.blockOf[last.Target])
+		default:
+			if b.End < n {
+				addEdge(b.ID, g.blockOf[b.End])
+			}
+		}
+	}
+	return g, nil
+}
+
+// Reachable returns the set of blocks reachable from the entry, as a
+// boolean slice indexed by block ID.
+func (g *CFG) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the CFG structure for debugging and the liveness CLI.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CFG of %s: %d blocks\n", g.Prog.Name, len(g.Blocks))
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "  B%d [%d,%d) -> %v\n", b.ID, b.Start, b.End, b.Succs)
+	}
+	return sb.String()
+}

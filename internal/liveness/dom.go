@@ -1,0 +1,139 @@
+package liveness
+
+// Dominator analysis over the CFG. The post-dominator tree supplies the
+// PDOM reconvergence points used both by the functional SIMT executor (to
+// reconverge diverged warps) and by the paper's compiler traversal argument
+// (Figure 9: analysing a block of a diverging branch only needs the path to
+// the immediate post-dominator).
+
+// Dominators computes the immediate-dominator array over the CFG using the
+// iterative dataflow algorithm (Cooper/Harvey/Kennedy style, on reverse
+// post-order). idom[0] == 0; unreachable blocks get idom -1.
+func (g *CFG) Dominators() []int {
+	order := g.reversePostOrder(false)
+	return g.iterativeIdom(order, false)
+}
+
+// PostDominators computes the immediate post-dominator of each block: the
+// first block control must pass through on every path from the block to
+// program exit. Exit blocks (no successors) post-dominate themselves.
+// Blocks that cannot reach an exit get -1.
+func (g *CFG) PostDominators() []int {
+	order := g.reversePostOrder(true)
+	return g.iterativeIdom(order, true)
+}
+
+// reversePostOrder returns block IDs in reverse post-order of the CFG
+// (reverse=false) or of the reversed CFG rooted at the exit blocks
+// (reverse=true).
+func (g *CFG) reversePostOrder(reverse bool) []int {
+	n := len(g.Blocks)
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		visited[b] = true
+		next := g.Blocks[b].Succs
+		if reverse {
+			next = g.Blocks[b].Preds
+		}
+		for _, s := range next {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if reverse {
+		for _, b := range g.Blocks {
+			if len(b.Succs) == 0 && !visited[b.ID] {
+				dfs(b.ID)
+			}
+		}
+	} else {
+		dfs(0)
+	}
+	// reverse the post-order in place
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// iterativeIdom runs the classic "engineered" dominator fixpoint. For
+// post-dominators the graph is traversed through Succs instead of Preds and
+// roots are the exit blocks.
+func (g *CFG) iterativeIdom(order []int, post bool) []int {
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	pos := make([]int, n) // position of block in order, for intersect
+	for i, b := range order {
+		pos[b] = i
+	}
+	roots := map[int]bool{}
+	if post {
+		for _, b := range g.Blocks {
+			if len(b.Succs) == 0 {
+				roots[b.ID] = true
+				idom[b.ID] = b.ID
+			}
+		}
+	} else {
+		roots[0] = true
+		idom[0] = 0
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for pos[a] > pos[b] {
+				a = idom[a]
+			}
+			for pos[b] > pos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if roots[b] {
+				continue
+			}
+			edges := g.Blocks[b].Preds
+			if post {
+				edges = g.Blocks[b].Succs
+			}
+			newIdom := -1
+			for _, p := range edges {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// ImmediatePostDom returns the immediate post-dominator block ID of b, or
+// -1 when b is an exit block or cannot reach one. This is the PDOM
+// reconvergence point for a divergent branch ending block b.
+func (g *CFG) ImmediatePostDom(b int) int {
+	pd := g.PostDominators()
+	if pd[b] == b || pd[b] < 0 {
+		return -1
+	}
+	return pd[b]
+}

@@ -1,0 +1,159 @@
+package liveness
+
+import (
+	"fmt"
+
+	"finereg/internal/isa"
+)
+
+// Info holds the result of the liveness pass over one program: for every
+// static PC, the 64-bit vector of registers live *into* that instruction —
+// exactly the set a stalled warp parked at that PC must preserve (paper
+// Section IV-B: "A register is regarded as alive if it is used as the
+// source operand of any subsequent instructions until the first encounter
+// of an instruction that uses this register as a destination").
+type Info struct {
+	Prog *isa.Program
+	G    *CFG
+	// liveIn[pc] is the live set immediately before Instrs[pc] executes.
+	liveIn []BitVec
+	// blockVisits counts how many blocks the divergence-aware traversal
+	// inspects per block (Figure 9 accounting), for tests and the CLI.
+	blockVisits int
+}
+
+// Analyze runs the full pass: CFG construction plus backward may-liveness
+// to fixpoint. It is deterministic and pure.
+func Analyze(p *isa.Program) (*Info, error) {
+	g, err := BuildCFG(p)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{Prog: p, G: g, liveIn: make([]BitVec, p.Len())}
+	info.solve()
+	return info, nil
+}
+
+// MustAnalyze is Analyze that panics on error, for statically-known-valid
+// kernel programs.
+func MustAnalyze(p *isa.Program) *Info {
+	info, err := Analyze(p)
+	if err != nil {
+		panic(fmt.Sprintf("liveness: %v", err))
+	}
+	return info
+}
+
+// solve runs the standard backward dataflow:
+//
+//	liveOut[b] = ∪ liveIn[succ(b)]
+//	liveIn[b]  = use(b) ∪ (liveOut[b] − def(b))   applied per instruction
+//
+// iterated to fixpoint over the block worklist. Per-instruction vectors are
+// then filled in one backward sweep per block. The traversal order follows
+// the paper's Figure 9 observation: each block is processed once per
+// worklist visit, and loops converge after revisiting the loop body once
+// because the vectors only grow.
+func (in *Info) solve() {
+	g := in.G
+	n := len(g.Blocks)
+	liveInB := make([]BitVec, n)
+	liveOutB := make([]BitVec, n)
+
+	// transfer applies the block's instructions backward to v and returns
+	// the block's live-in.
+	transfer := func(b *Block, v BitVec) BitVec {
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			ins := in.Prog.At(pc)
+			if ins.WritesReg() {
+				v = v.Clear(ins.Dst)
+			}
+			ins.Reads(func(r isa.Reg) { v = v.Set(r) })
+		}
+		return v
+	}
+
+	// Worklist seeded with all blocks in reverse program order so a single
+	// pass suffices for loop-free code.
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	for b := n - 1; b >= 0; b-- {
+		work = append(work, b)
+		inWork[b] = true
+	}
+	for len(work) > 0 {
+		bID := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[bID] = false
+		b := g.Blocks[bID]
+		in.blockVisits++
+		var out BitVec
+		for _, s := range b.Succs {
+			out = out.Union(liveInB[s])
+		}
+		liveOutB[bID] = out
+		newIn := transfer(b, out)
+		if newIn != liveInB[bID] {
+			liveInB[bID] = newIn
+			for _, p := range b.Preds {
+				if !inWork[p] {
+					work = append(work, p)
+					inWork[p] = true
+				}
+			}
+		}
+	}
+
+	// Fill per-instruction live-in vectors with one final backward sweep.
+	for _, b := range g.Blocks {
+		v := liveOutB[b.ID]
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			ins := in.Prog.At(pc)
+			if ins.WritesReg() {
+				v = v.Clear(ins.Dst)
+			}
+			ins.Reads(func(r isa.Reg) { v = v.Set(r) })
+			in.liveIn[pc] = v
+		}
+	}
+}
+
+// At returns the live-register bit vector for a warp stalled at pc (about
+// to execute the instruction at pc).
+func (in *Info) At(pc int) BitVec { return in.liveIn[pc] }
+
+// LiveCount returns the number of live registers at pc.
+func (in *Info) LiveCount(pc int) int { return in.liveIn[pc].Count() }
+
+// MaxLive returns the maximum live-set size over all PCs — the worst-case
+// PCRF demand of one warp of this kernel.
+func (in *Info) MaxLive() int {
+	m := 0
+	for _, v := range in.liveIn {
+		if c := v.Count(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MeanLive returns the average live-set size over all static PCs.
+func (in *Info) MeanLive() float64 {
+	if len(in.liveIn) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range in.liveIn {
+		sum += v.Count()
+	}
+	return float64(sum) / float64(len(in.liveIn))
+}
+
+// BlockVisits reports how many block transfers the fixpoint performed —
+// the Figure 9 traversal-cost metric.
+func (in *Info) BlockVisits() int { return in.blockVisits }
+
+// BitVectorBytes returns the off-chip storage the live-register table of
+// this kernel occupies: 12 bytes per static instruction (4-byte PC tag +
+// 8-byte vector), per the paper's Section V-F accounting.
+func (in *Info) BitVectorBytes() int { return 12 * in.Prog.Len() }

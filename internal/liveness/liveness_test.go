@@ -1,0 +1,397 @@
+package liveness
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finereg/internal/isa"
+)
+
+// figure7Program reproduces the paper's Figure 7 CFD Solver fragment shape:
+// the warp stalls at PC 0 where only R0 is live — R1, R2, R3 are all
+// redefined before any use.
+func figure7Program(t testing.TB) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("fig7")
+	mem := isa.MemDesc{Pattern: isa.PatCoalesced, Footprint: 1 << 20}
+	// 0x0000: LDG R1, [R0]     — R0 is a source => live at 0
+	b.Ldg(1, 0, mem)
+	// 0x0008: IADD R2, R1, R1  — R2 defined before any use
+	b.IAdd(2, 1, 1)
+	// 0x0010: FMUL R3, R2, R2  — R3 defined before any use
+	b.FMul(3, 2, 2)
+	// 0x0018: STG [R0], R3
+	b.Stg(3, 0, isa.MemDesc{Pattern: isa.PatCoalesced, Region: 1, Footprint: 1 << 20})
+	b.Exit()
+	return b.MustBuild(0)
+}
+
+func TestFigure7LiveAtStall(t *testing.T) {
+	info := MustAnalyze(figure7Program(t))
+	got := info.At(0)
+	if !got.Has(0) {
+		t.Errorf("R0 should be live at PC 0, got %v", got)
+	}
+	for _, dead := range []isa.Reg{1, 2, 3} {
+		if got.Has(dead) {
+			t.Errorf("%v should be dead at PC 0 (redefined before use), got %v", dead, got)
+		}
+	}
+	if got.Count() != 1 {
+		t.Errorf("live count at PC 0 = %d, want 1 (only R0)", got.Count())
+	}
+}
+
+func TestStraightLineChain(t *testing.T) {
+	b := isa.NewBuilder("chain")
+	b.MovI(0, 1)               // pc 0: def R0
+	b.IAdd(1, 0, 0)            // pc 1: def R1, use R0
+	b.IAdd(2, 1, 0)            // pc 2: def R2, use R1 R0
+	b.Stg(2, 1, isa.MemDesc{}) // pc 3: use R2 R1
+	b.Exit()
+	info := MustAnalyze(b.MustBuild(0))
+
+	cases := []struct {
+		pc   int
+		want []isa.Reg
+	}{
+		{0, nil},
+		{1, []isa.Reg{0}},
+		{2, []isa.Reg{0, 1}},
+		{3, []isa.Reg{1, 2}},
+		{4, nil},
+	}
+	for _, c := range cases {
+		got := info.At(c.pc)
+		var want BitVec
+		for _, r := range c.want {
+			want = want.Set(r)
+		}
+		if got != want {
+			t.Errorf("live-in at pc %d = %v, want %v", c.pc, got, want)
+		}
+	}
+}
+
+// divergeProgram builds the Figure 9(a) diamond: B1 branches to B2/B3,
+// reconverging at B4.
+func divergeProgram(t testing.TB) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("diamond")
+	b.MovI(0, 5)     // B1: def R0
+	b.ISetp(1, 0, 0) // B1: def R1 (predicate)
+	b.BraCond(1, "else", 0, true)
+	b.IAddI(2, 0, 1) // B2 (then): def R2 = R0+1
+	b.Bra("join")
+	b.Label("else")
+	b.IAddI(2, 0, 2) // B3 (else): def R2 = R0+2
+	b.Label("join")
+	b.Stg(2, 0, isa.MemDesc{}) // B4: use R2, R0
+	b.Exit()
+	return b.MustBuild(0)
+}
+
+func TestDivergentBranchLiveness(t *testing.T) {
+	p := divergeProgram(t)
+	info := MustAnalyze(p)
+	// At the branch (pc 2) R0 and R1 are live (R1 is the predicate, R0 is
+	// used in both arms and at the join); R2 is dead (defined in each arm).
+	at := info.At(2)
+	if !at.Has(0) || !at.Has(1) {
+		t.Errorf("R0,R1 should be live at branch, got %v", at)
+	}
+	if at.Has(2) {
+		t.Errorf("R2 should be dead at branch (redefined in both arms), got %v", at)
+	}
+	// Inside the then-arm (pc 3), R0 is live (used here and at join).
+	if got := info.At(3); !got.Has(0) || got.Has(1) {
+		t.Errorf("then-arm live-in = %v, want R0 live, R1 dead", got)
+	}
+}
+
+func TestDivergentCFGShape(t *testing.T) {
+	p := divergeProgram(t)
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect 4 blocks: B1 (entry+branch), then, else, join.
+	if len(g.Blocks) != 4 {
+		t.Fatalf("CFG has %d blocks, want 4:\n%s", len(g.Blocks), g)
+	}
+	entry := g.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Errorf("entry has %d successors, want 2", len(entry.Succs))
+	}
+	join := g.BlockOf(p.Len() - 1)
+	if len(join.Preds) != 2 {
+		t.Errorf("join has %d predecessors, want 2", len(join.Preds))
+	}
+	// PDOM of the entry block must be the join block (Figure 9(a)).
+	if pd := g.ImmediatePostDom(entry.ID); pd != join.ID {
+		t.Errorf("post-dominator of entry = B%d, want B%d (join)", pd, join.ID)
+	}
+}
+
+// loopProgram builds Figure 9(b): a loop body B1 followed by exit block B2.
+func loopProgram(t testing.TB) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("loop")
+	b.MovI(0, 0) // induction
+	b.MovI(1, 8) // bound
+	b.MovI(3, 0) // accumulator
+	b.Label("body")
+	b.Ldg(2, 0, isa.MemDesc{Pattern: isa.PatCoalesced, Footprint: 1 << 16})
+	b.FAdd(3, 3, 2)
+	b.IAddI(0, 0, 1)
+	b.ISetp(4, 0, 1)
+	b.Loop(4, "body", 8)
+	b.Stg(3, 0, isa.MemDesc{Region: 1})
+	b.Exit()
+	return b.MustBuild(0)
+}
+
+func TestLoopLiveness(t *testing.T) {
+	info := MustAnalyze(loopProgram(t))
+	// At loop head (pc 3, the LDG): R0 (address/induction), R1 (bound), R3
+	// (accumulator, carried around the back edge) must be live; R2 and R4
+	// are dead (defined before their next use).
+	at := info.At(3)
+	for _, r := range []isa.Reg{0, 1, 3} {
+		if !at.Has(r) {
+			t.Errorf("%v should be live at loop head, got %v", r, at)
+		}
+	}
+	for _, r := range []isa.Reg{2, 4} {
+		if at.Has(r) {
+			t.Errorf("%v should be dead at loop head, got %v", r, at)
+		}
+	}
+}
+
+func TestLoopConvergesQuickly(t *testing.T) {
+	info := MustAnalyze(loopProgram(t))
+	// The Figure 9(b) claim: a loop needs each block visited only a small
+	// constant number of times. With 3 blocks the fixpoint should finish
+	// in well under 3 passes over the CFG.
+	if v := info.BlockVisits(); v > 9 {
+		t.Errorf("fixpoint took %d block visits for a 3-block loop, want <= 9", v)
+	}
+}
+
+func TestMaxMeanLive(t *testing.T) {
+	info := MustAnalyze(loopProgram(t))
+	if max := info.MaxLive(); max < 3 || max > 5 {
+		t.Errorf("MaxLive = %d, want within [3,5]", max)
+	}
+	if mean := info.MeanLive(); mean <= 0 || mean > 5 {
+		t.Errorf("MeanLive = %v, want in (0,5]", mean)
+	}
+}
+
+func TestBitVectorBytes(t *testing.T) {
+	p := loopProgram(t)
+	info := MustAnalyze(p)
+	if got, want := info.BitVectorBytes(), 12*p.Len(); got != want {
+		t.Errorf("BitVectorBytes = %d, want %d", got, want)
+	}
+}
+
+func TestDominatorsLinear(t *testing.T) {
+	p := figure7Program(t)
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idom := g.Dominators()
+	if idom[0] != 0 {
+		t.Errorf("entry idom = %d, want 0 (itself)", idom[0])
+	}
+}
+
+func TestPostDominatorsLoop(t *testing.T) {
+	p := loopProgram(t)
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdom := g.PostDominators()
+	// Every block's post-dominator chain must reach the exit block.
+	exit := -1
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 0 {
+			exit = b.ID
+		}
+	}
+	if exit == -1 {
+		t.Fatal("no exit block")
+	}
+	for _, b := range g.Blocks {
+		cur := b.ID
+		for steps := 0; cur != exit; steps++ {
+			if steps > len(g.Blocks) {
+				t.Fatalf("block B%d post-dominator chain does not reach exit: %v", b.ID, pdom)
+			}
+			cur = pdom[cur]
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	p := divergeProgram(t)
+	g, err := BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, ok := range g.Reachable() {
+		if !ok {
+			t.Errorf("block B%d unreachable in diamond CFG", id)
+		}
+	}
+}
+
+// randomStraightLine builds a random loop-free program for property tests.
+func randomStraightLine(r *rand.Rand, n int) *isa.Program {
+	b := isa.NewBuilder("rand")
+	nr := 1 + r.Intn(16)
+	reg := func() isa.Reg { return isa.Reg(r.Intn(nr)) }
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0:
+			b.MovI(reg(), uint32(r.Intn(100)))
+		case 1:
+			b.IAdd(reg(), reg(), reg())
+		case 2:
+			b.FFma(reg(), reg(), reg(), reg())
+		case 3:
+			b.Ldg(reg(), reg(), isa.MemDesc{})
+		case 4:
+			b.Stg(reg(), reg(), isa.MemDesc{})
+		}
+	}
+	b.Exit()
+	return b.MustBuild(nr)
+}
+
+// Property: for straight-line code, the per-instruction recurrence
+// liveIn[pc] = use(pc) ∪ (liveIn[pc+1] − def(pc)) holds exactly.
+func TestStraightLineRecurrenceQuick(t *testing.T) {
+	f := func(seed int64, rawLen uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(rawLen%40)
+		p := randomStraightLine(r, n)
+		info := MustAnalyze(p)
+		for pc := p.Len() - 2; pc >= 0; pc-- {
+			ins := p.At(pc)
+			want := info.At(pc + 1)
+			if ins.WritesReg() {
+				want = want.Clear(ins.Dst)
+			}
+			ins.Reads(func(rg isa.Reg) { want = want.Set(rg) })
+			if info.At(pc) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every register an instruction reads is live-in at that
+// instruction, on arbitrary straight-line programs.
+func TestReadsAreLiveQuick(t *testing.T) {
+	f := func(seed int64, rawLen uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomStraightLine(r, 1+int(rawLen%60))
+		info := MustAnalyze(p)
+		ok := true
+		for pc := 0; pc < p.Len(); pc++ {
+			p.At(pc).Reads(func(rg isa.Reg) {
+				if !info.At(pc).Has(rg) {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: live counts never exceed the allocated register count.
+func TestLiveBoundedQuick(t *testing.T) {
+	f := func(seed int64, rawLen uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomStraightLine(r, 1+int(rawLen%60))
+		info := MustAnalyze(p)
+		for pc := 0; pc < p.Len(); pc++ {
+			if info.LiveCount(pc) > p.RegsPerThread {
+				return false
+			}
+		}
+		return info.MaxLive() <= p.RegsPerThread
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitVecOps(t *testing.T) {
+	var v BitVec
+	v = v.Set(3).Set(7).Set(63)
+	if v.Count() != 3 {
+		t.Errorf("Count = %d, want 3", v.Count())
+	}
+	if !v.Has(3) || !v.Has(63) || v.Has(0) {
+		t.Errorf("membership wrong: %v", v)
+	}
+	v = v.Clear(7)
+	if v.Has(7) || v.Count() != 2 {
+		t.Errorf("Clear failed: %v", v)
+	}
+	regs := v.Regs()
+	if len(regs) != 2 || regs[0] != 3 || regs[1] != 63 {
+		t.Errorf("Regs = %v, want [R3 R63]", regs)
+	}
+	if s := v.String(); s != "{R3,R63}" {
+		t.Errorf("String = %q, want {R3,R63}", s)
+	}
+	u := BitVec(0).Set(1)
+	if got := v.Union(u); got.Count() != 3 {
+		t.Errorf("Union count = %d, want 3", got.Count())
+	}
+}
+
+// Property: BitVec Set/Clear/Has behave like a set of uint6.
+func TestBitVecQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var v BitVec
+		ref := map[isa.Reg]bool{}
+		for _, o := range ops {
+			r := isa.Reg(o % 64)
+			if o&0x80 != 0 {
+				v = v.Clear(r)
+				delete(ref, r)
+			} else {
+				v = v.Set(r)
+				ref[r] = true
+			}
+		}
+		if v.Count() != len(ref) {
+			return false
+		}
+		for r := range ref {
+			if !v.Has(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package mem models the GPU memory hierarchy of the Table I machine: a
+// per-SM L1 cache, a shared L2, and an off-chip DRAM channel with a fixed
+// access latency plus a bandwidth queue, together with the warp-level
+// coalescer that turns access descriptors into 128-byte transactions.
+package mem
+
+import "fmt"
+
+// LineBytes is the cache line / memory transaction size.
+const LineBytes = 128
+
+// Cache is a set-associative, LRU, write-allocate cache. It models tags
+// and recency only; data never moves (the timing simulator does not need
+// values).
+type Cache struct {
+	ways      int
+	sets      uint64
+	lineShift uint
+	tags      []uint64 // sets × ways, tag 0 = invalid (addresses are offset to avoid 0)
+	used      []int64  // LRU stamps, parallel to tags
+
+	// Accesses and Misses count probe results.
+	Accesses, Misses int64
+
+	stamp int64
+}
+
+// NewCache builds a cache of sizeBytes capacity with the given
+// associativity and LineBytes lines. sizeBytes must be a positive multiple
+// of ways*LineBytes (set counts need not be powers of two — the Table I L1
+// is 48 KB / 8-way / 128 B = 48 sets).
+func NewCache(sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("mem: invalid cache geometry %d bytes / %d ways", sizeBytes, ways)
+	}
+	sets := sizeBytes / (ways * LineBytes)
+	if sets == 0 || sizeBytes%(ways*LineBytes) != 0 {
+		return nil, fmt.Errorf("mem: cache of %d bytes / %d ways is not a whole number of %d-byte sets", sizeBytes, ways, ways*LineBytes)
+	}
+	c := &Cache{
+		ways:      ways,
+		sets:      uint64(sets),
+		lineShift: 7, // log2(LineBytes)
+		tags:      make([]uint64, sets*ways),
+		used:      make([]int64, sets*ways),
+	}
+	return c, nil
+}
+
+// MustNewCache is NewCache that panics on error (static configurations).
+func MustNewCache(sizeBytes, ways int) *Cache {
+	c, err := NewCache(sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access probes the cache with a byte address, fills on miss, and reports
+// whether it hit. The LRU victim in the set is replaced on miss.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.stamp++
+	line := (addr >> c.lineShift) + 1 // +1 so tag 0 stays "invalid"
+	set := int((addr >> c.lineShift) % c.sets)
+	base := set * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == line {
+			c.used[i] = c.stamp
+			return true
+		}
+		if c.used[i] < c.used[victim] {
+			victim = i
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.used[victim] = c.stamp
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.used[i] = 0
+	}
+	c.Accesses, c.Misses, c.stamp = 0, 0, 0
+}
+
+// SizeBytes returns the cache capacity.
+func (c *Cache) SizeBytes() int { return len(c.tags) * LineBytes }

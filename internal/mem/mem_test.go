@@ -1,0 +1,273 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"finereg/internal/isa"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := MustNewCache(48<<10, 8) // Table I L1
+	if got := c.SizeBytes(); got != 48<<10 {
+		t.Errorf("SizeBytes = %d, want %d", got, 48<<10)
+	}
+	if _, err := NewCache(48<<10+1, 8); err == nil {
+		t.Error("fractional set count should be rejected")
+	}
+	if _, err := NewCache(0, 8); err == nil {
+		t.Error("zero size should be rejected")
+	}
+	if _, err := NewCache(1<<10, 0); err == nil {
+		t.Error("zero ways should be rejected")
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := MustNewCache(1<<12, 4)
+	if c.Access(0x1000) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x1000 + 64) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(0x1000 + LineBytes) {
+		t.Error("next line should miss")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Errorf("counters = %d/%d, want 4 accesses / 2 misses", c.Accesses, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 sets × 2 ways: four distinct lines mapping to set 0 force LRU.
+	c := MustNewCache(2*2*LineBytes, 2)
+	setStride := uint64(2 * LineBytes) // lines with the same set index
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(a) // miss, fill
+	c.Access(b) // miss, fill
+	c.Access(a) // hit, a most recent
+	c.Access(d) // miss, evicts b (LRU)
+	if !c.Access(a) {
+		t.Error("a should still be resident")
+	}
+	if c.Access(b) {
+		t.Error("b should have been evicted by LRU")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := MustNewCache(1<<12, 4)
+	c.Access(0)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("Reset should clear counters")
+	}
+	if c.Access(0) {
+		t.Error("Reset should clear contents")
+	}
+}
+
+// Property: a working set smaller than capacity never misses after the
+// first pass, regardless of ordering within passes.
+func TestCacheFitsWorkingSetQuick(t *testing.T) {
+	f := func(seed uint16) bool {
+		c := MustNewCache(1<<13, 8) // 64 lines
+		nLines := 1 + int(seed%32)  // at most half capacity
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < nLines; i++ {
+				hit := c.Access(uint64(i) * LineBytes)
+				if pass > 0 && !hit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRAMLatencyAndQueueing(t *testing.T) {
+	d := &DRAM{LatencyCycles: 400, BytesPerCycle: 256}
+	t1 := d.Access(0, 128, TrafficDemand)
+	if t1 != 400 {
+		t.Errorf("first access completes at %d, want 400 (latency + 0.5 cycle service)", t1)
+	}
+	// Saturate the channel: 100 back-to-back lines serialize at 0.5
+	// cycles each.
+	var last int64
+	for i := 0; i < 100; i++ {
+		last = d.Access(0, 128, TrafficDemand)
+	}
+	if last < 400+45 {
+		t.Errorf("100 queued accesses complete at %d, want >= 445 (bandwidth-bound)", last)
+	}
+	if got := d.Bytes(TrafficDemand); got != 128*101 {
+		t.Errorf("demand bytes = %d, want %d", got, 128*101)
+	}
+}
+
+func TestDRAMTrafficClasses(t *testing.T) {
+	d := &DRAM{LatencyCycles: 1, BytesPerCycle: 64}
+	d.Access(0, 100, TrafficDemand)
+	d.Access(0, 200, TrafficContext)
+	d.Access(0, 12, TrafficBitvec)
+	if d.Bytes(TrafficDemand) != 100 || d.Bytes(TrafficContext) != 200 || d.Bytes(TrafficBitvec) != 12 {
+		t.Errorf("per-class bytes wrong: %d/%d/%d", d.Bytes(TrafficDemand), d.Bytes(TrafficContext), d.Bytes(TrafficBitvec))
+	}
+	if d.TotalBytes() != 312 {
+		t.Errorf("TotalBytes = %d, want 312", d.TotalBytes())
+	}
+}
+
+func TestDRAMUtilization(t *testing.T) {
+	d := &DRAM{LatencyCycles: 1, BytesPerCycle: 100}
+	d.Access(0, 1000, TrafficDemand) // 10 busy cycles
+	if u := d.Utilization(100); u < 0.09 || u > 0.11 {
+		t.Errorf("Utilization = %v, want ~0.10", u)
+	}
+	if u := d.Utilization(5); u != 1 {
+		t.Errorf("Utilization should clamp to 1, got %v", u)
+	}
+	if u := d.Utilization(0); u != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", u)
+	}
+}
+
+func TestCoalesceShapes(t *testing.T) {
+	var buf []uint64
+	foot := int64(1 << 20)
+	cases := []struct {
+		md    isa.MemDesc
+		nWant int
+	}{
+		{isa.MemDesc{Pattern: isa.PatCoalesced, Footprint: foot}, 1},
+		{isa.MemDesc{Pattern: isa.PatBroadcast, Footprint: foot}, 1},
+		{isa.MemDesc{Pattern: isa.PatStrided, Stride: 8, Footprint: foot}, 8},
+		{isa.MemDesc{Pattern: isa.PatStrided, Stride: 64, Footprint: foot}, 32},
+		{isa.MemDesc{Pattern: isa.PatRandom, Footprint: foot}, 8},
+	}
+	for _, c := range cases {
+		got := Coalesce(c.md, 7, buf)
+		if len(got) != c.nWant {
+			t.Errorf("%v: %d transactions, want %d", c.md.Pattern, len(got), c.nWant)
+		}
+	}
+}
+
+func TestCoalesceRegionsDisjoint(t *testing.T) {
+	a := Coalesce(isa.MemDesc{Pattern: isa.PatCoalesced, Region: 0, Footprint: 1 << 20}, 5, nil)
+	b := Coalesce(isa.MemDesc{Pattern: isa.PatCoalesced, Region: 1, Footprint: 1 << 20}, 5, nil)
+	if a[0] == b[0] {
+		t.Error("different regions must not alias")
+	}
+}
+
+func TestCoalesceFootprintWraps(t *testing.T) {
+	md := isa.MemDesc{Pattern: isa.PatCoalesced, Footprint: 4 * LineBytes}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 64; i++ {
+		for _, l := range Coalesce(md, i, nil) {
+			seen[l] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("footprint of 4 lines produced %d distinct lines", len(seen))
+	}
+}
+
+// Property: Coalesce is deterministic and respects the footprint bound.
+func TestCoalesceBoundedQuick(t *testing.T) {
+	f := func(pat, region uint8, stride int16, stream uint32, footKB uint8) bool {
+		md := isa.MemDesc{
+			Pattern:   isa.Pattern(pat % 4),
+			Stride:    int(stride),
+			Region:    region % 16,
+			Footprint: int64(1+footKB%64) << 10,
+		}
+		a := Coalesce(md, uint64(stream), nil)
+		b := Coalesce(md, uint64(stream), nil)
+		if len(a) != len(b) || len(a) == 0 || len(a) > 32 {
+			return false
+		}
+		base := uint64(md.Region) << 40
+		foot := uint64(md.Footprint)
+		if foot < LineBytes {
+			foot = LineBytes
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			if a[i] < base || a[i] >= base+foot {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyAccessLatencies(t *testing.T) {
+	h := NewHierarchy(2<<20, 8, 400, 313, DefaultLatencies())
+	l1 := MustNewCache(48<<10, 8)
+	lines := []uint64{0}
+
+	// Cold: miss everywhere -> DRAM latency dominates.
+	r := h.Access(l1, 0, lines, false)
+	if r.L1Misses != 1 || r.L2Misses != 1 {
+		t.Fatalf("cold access misses = %d/%d, want 1/1", r.L1Misses, r.L2Misses)
+	}
+	if r.ReadyAt < 400 {
+		t.Errorf("cold load ready at %d, want >= DRAM latency 400", r.ReadyAt)
+	}
+
+	// Warm L1: hit latency.
+	r = h.Access(l1, 1000, lines, false)
+	if r.L1Misses != 0 || r.ReadyAt != 1000+h.Lat.L1Hit {
+		t.Errorf("L1 hit ready at %d, want %d", r.ReadyAt, 1000+h.Lat.L1Hit)
+	}
+
+	// L2 hit: evictions aside, a fresh L1 but warm L2.
+	l1b := MustNewCache(48<<10, 8)
+	r = h.Access(l1b, 2000, lines, false)
+	if r.L1Misses != 1 || r.L2Misses != 0 {
+		t.Fatalf("expected L1 miss + L2 hit, got %d/%d", r.L1Misses, r.L2Misses)
+	}
+	if want := 2000 + h.Lat.L1Hit + h.Lat.L2Hit; r.ReadyAt != want {
+		t.Errorf("L2 hit ready at %d, want %d", r.ReadyAt, want)
+	}
+}
+
+func TestHierarchyStoresDontBlock(t *testing.T) {
+	h := NewHierarchy(2<<20, 8, 400, 313, DefaultLatencies())
+	l1 := MustNewCache(48<<10, 8)
+	r := h.Access(l1, 123, []uint64{1 << 20}, true)
+	if r.ReadyAt != 123 {
+		t.Errorf("store ReadyAt = %d, want issue cycle 123", r.ReadyAt)
+	}
+	if h.DRAM.Bytes(TrafficDemand) != LineBytes {
+		t.Errorf("store should have generated one line of demand traffic")
+	}
+}
+
+func TestHierarchyTransfer(t *testing.T) {
+	h := NewHierarchy(2<<20, 8, 400, 256, DefaultLatencies())
+	done := h.Transfer(0, 4096, TrafficContext)
+	if done < 400+16 {
+		t.Errorf("4KB transfer completes at %d, want >= 416", done)
+	}
+	if h.Transfer(5, 0, TrafficContext) != 5 {
+		t.Error("zero-byte transfer should be free")
+	}
+	if h.DRAM.Bytes(TrafficContext) != 4096 {
+		t.Errorf("context bytes = %d, want 4096", h.DRAM.Bytes(TrafficContext))
+	}
+}

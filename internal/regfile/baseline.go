@@ -1,0 +1,67 @@
+// Package regfile implements the register-file management policies FineReg
+// is evaluated against (paper Section VI): the conventional Baseline,
+// Virtual Thread [45], Reg+DRAM (Zorua-like [39]), and RegMutex [17]
+// merged with Virtual Thread. The FineReg policy itself lives in
+// internal/core.
+//
+// Each policy instance is attached to one SM and owns that SM's
+// register-file accounting in warp-registers (128-byte units: one
+// architectural register across a 32-lane warp).
+package regfile
+
+import (
+	"finereg/internal/sm"
+)
+
+// Baseline is the conventional GPU: CTAs are launched while every resource
+// (scheduling slots, register file, shared memory) has room, registers are
+// allocated for a CTA's lifetime, and there is no CTA switching.
+type Baseline struct {
+	cfg      sm.Config
+	regsFree int
+}
+
+// NewBaseline returns a Baseline policy for an SM with the given config.
+func NewBaseline(cfg sm.Config) *Baseline { return &Baseline{cfg: cfg} }
+
+// Name implements sm.Policy.
+func (b *Baseline) Name() string { return "Baseline" }
+
+// KernelStart implements sm.Policy.
+func (b *Baseline) KernelStart(s *sm.SM, now int64) {
+	b.regsFree = b.cfg.TotalWarpRegs()
+}
+
+// FillSlots launches CTAs until a scheduling resource or the register file
+// is exhausted.
+func (b *Baseline) FillSlots(s *sm.SM, now int64) {
+	cost := s.Meta().RegCostPerCTA()
+	for s.CanActivateOne(true) && b.regsFree >= cost {
+		if s.LaunchNew(now, 0) == nil {
+			return
+		}
+		b.regsFree -= cost
+	}
+}
+
+// OnCTAStalled implements sm.Policy; the baseline simply waits the stall
+// out.
+func (b *Baseline) OnCTAStalled(s *sm.SM, c *sm.CTA, now int64) {}
+
+// OnCTAReady implements sm.Policy (the baseline never has pending CTAs).
+func (b *Baseline) OnCTAReady(s *sm.SM, c *sm.CTA, now int64) {}
+
+// OnCTAFinished releases the CTA's registers.
+func (b *Baseline) OnCTAFinished(s *sm.SM, c *sm.CTA, now int64) {
+	b.regsFree += c.RegCost
+}
+
+// AllowIssue implements sm.Policy.
+func (b *Baseline) AllowIssue(s *sm.SM, w *sm.Warp, now int64) bool { return true }
+
+// BlockedOnRegisters implements sm.Policy.
+func (b *Baseline) BlockedOnRegisters() bool { return false }
+
+// RegsFree exposes the remaining register capacity (tests, Figure 4's
+// active-thread accounting).
+func (b *Baseline) RegsFree() int { return b.regsFree }

@@ -1,0 +1,258 @@
+package regfile
+
+import (
+	"finereg/internal/mem"
+	"finereg/internal/sm"
+)
+
+// dramInfo is RegDRAM's per-CTA bookkeeping for off-chip pending CTAs.
+type dramInfo struct {
+	// prefetchDone is the cycle the inbound register DMA completes; zero
+	// while the context still sits in DRAM un-fetched.
+	prefetchDone int64
+}
+
+// RegDRAM implements the Reg+DRAM configuration (Zorua-like [39]): Virtual
+// Thread's in-RF residency plus an off-chip pending pool. A stalled CTA
+// with no in-RF replacement has its full register context DMA'd to DRAM
+// (overlapped with execution — the cost is channel bandwidth, which is why
+// the paper's Figure 15 measures this policy by its traffic) and a new CTA
+// takes over its allocation. When an off-chip CTA's dependencies resolve,
+// its context is prefetched back and it swaps with the next stalled active
+// CTA.
+type RegDRAM struct {
+	cfg  sm.Config
+	hier *mem.Hierarchy
+
+	regsFree int
+	dramUsed int
+	nextDMA  int64
+	// DRAMCap bounds the off-chip pending CTAs per SM (the paper tuned
+	// this per application; experiments sweep it).
+	DRAMCap int
+}
+
+// NewRegDRAM returns a Reg+DRAM policy with the given off-chip pool cap.
+func NewRegDRAM(cfg sm.Config, hier *mem.Hierarchy, dramCap int) *RegDRAM {
+	if dramCap < 0 {
+		dramCap = 0
+	}
+	return &RegDRAM{cfg: cfg, hier: hier, DRAMCap: dramCap}
+}
+
+// Name implements sm.Policy.
+func (r *RegDRAM) Name() string { return "Reg+DRAM" }
+
+// KernelStart implements sm.Policy.
+func (r *RegDRAM) KernelStart(s *sm.SM, now int64) {
+	r.regsFree = r.cfg.TotalWarpRegs()
+	r.dramUsed = 0
+	r.nextDMA = 0
+}
+
+// dmaAllowed paces context DMA: the engine runs only when the off-chip
+// channel has slack and a minimum interval has passed since this SM's last
+// context transfer. Without pacing, stall-rate context swapping saturates
+// the channel and starves demand traffic — the degenerate behaviour the
+// paper's Figure 15 analysis warns about.
+func (r *RegDRAM) dmaAllowed(bytes int, now int64) bool {
+	if now < r.nextDMA {
+		return false
+	}
+	return r.hier.DRAM.QueueDelay(now) <= float64(10*r.cfg.SwitchDrainLat)
+}
+
+// chargeDMA advances the pacing window after a context transfer.
+func (r *RegDRAM) chargeDMA(bytes int, now int64) {
+	service := int64(2 * float64(bytes) / r.hier.DRAM.BytesPerCycle)
+	// Pace to a few percent of the per-SM channel share so context
+	// traffic stays in the Figure 15 range instead of starving demand.
+	r.nextDMA = now + 1200*service
+}
+
+func (r *RegDRAM) info(c *sm.CTA) *dramInfo {
+	if d, ok := c.PolicyData().(*dramInfo); ok {
+		return d
+	}
+	d := &dramInfo{}
+	c.SetPolicyData(d)
+	return d
+}
+
+// ctxBytes is the full register context size of one CTA.
+func ctxBytes(c *sm.CTA) int { return c.RegCost * sm.WarpRegBytes }
+
+// pagedIn reports whether an off-chip CTA's registers have been fetched
+// back on-chip (its inbound DMA completed).
+func (r *RegDRAM) pagedIn(c *sm.CTA, now int64) bool {
+	d := r.info(c)
+	return d.prefetchDone > 0 && now >= d.prefetchDone
+}
+
+// readyDRAM returns a DRAM-pending CTA whose registers are prefetched and
+// whose warps are ready, or nil.
+func (r *RegDRAM) readyDRAM(s *sm.SM, now int64) *sm.CTA {
+	var best *sm.CTA
+	for _, c := range s.Residents() {
+		if c.State == sm.CTAPendingDRAM && c.ReadyAt <= now && r.pagedIn(c, now) {
+			if best == nil || c.ID < best.ID {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// FillSlots behaves like Virtual Thread, additionally admitting prefetched
+// off-chip CTAs when registers free up.
+func (r *RegDRAM) FillSlots(s *sm.SM, now int64) {
+	cost := s.Meta().RegCostPerCTA()
+	for s.CanActivateOne(false) {
+		if c := readyPending(s, sm.CTAPendingRF, now); c != nil {
+			s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+			continue
+		}
+		if c := r.readyDRAM(s, now); c != nil && r.regsFree >= cost {
+			r.regsFree -= cost
+			r.dramUsed--
+			r.info(c).prefetchDone = 0
+			s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+			continue
+		}
+		if !s.CanActivateOne(true) || r.regsFree < cost {
+			return
+		}
+		if s.LaunchNew(now, 0) == nil {
+			return
+		}
+		r.regsFree -= cost
+	}
+}
+
+// spillOut parks an active CTA's registers in DRAM; the outbound DMA is
+// overlapped with execution and charged as context traffic.
+func (r *RegDRAM) spillOut(s *sm.SM, c *sm.CTA, now int64) {
+	r.hier.TransferOverlapped(now, ctxBytes(c), mem.TrafficContext)
+	r.chargeDMA(ctxBytes(c), now)
+	s.Deactivate(c, sm.CTAPendingDRAM, now)
+	r.info(c).prefetchDone = 0
+	r.dramUsed++
+	r.regsFree += c.RegCost
+}
+
+// worthSpilling applies the absence guard: the victim must be away longer
+// than the round trip costs, or paging it out is a pure loss. Pacing is
+// NOT applied here — bringing an already-prefetched CTA home must never
+// be throttled, or it sits trapped off-chip on the critical path.
+func (r *RegDRAM) worthSpilling(c *sm.CTA, now int64) bool {
+	wake := c.EarliestWake()
+	return wake < 0 || wake-now >= r.spillCost(ctxBytes(c), now)
+}
+
+// OnCTAStalled switches within the register file when possible; otherwise
+// it spills the stalled CTA off-chip to admit a prefetched DRAM CTA or a
+// fresh launch.
+func (r *RegDRAM) OnCTAStalled(s *sm.SM, c *sm.CTA, now int64) {
+	cost := s.Meta().RegCostPerCTA()
+
+	// 1. Cheap in-RF swap (Virtual Thread behaviour).
+	if in := readyPending(s, sm.CTAPendingRF, now); in != nil {
+		s.Deactivate(c, sm.CTAPendingRF, now)
+		s.Reactivate(in, now, r.cfg.SwitchDrainLat)
+		return
+	}
+	if s.Disp.Remaining() > 0 && r.regsFree >= cost && s.CanParkResident() {
+		s.Deactivate(c, sm.CTAPendingRF, now)
+		if s.LaunchNew(now, r.cfg.SwitchDrainLat) != nil {
+			r.regsFree -= cost
+		}
+		return
+	}
+
+	// 2. Swap with a prefetched off-chip CTA: the victim pages out
+	// (overlapped) and the incoming CTA takes over its allocation.
+	if in := r.readyDRAM(s, now); in != nil && r.worthSpilling(c, now) {
+		r.spillOut(s, c, now)
+		r.regsFree -= cost
+		r.dramUsed--
+		r.info(in).prefetchDone = 0
+		s.Reactivate(in, now, r.cfg.SwitchDrainLat)
+		return
+	}
+
+	// 3. Spill to make room for a fresh CTA — only when the victim will be
+	// away long enough to amortize the channel cost (including backlog),
+	// which keeps spilling self-limiting under contention.
+	if s.Disp.Remaining() > 0 && r.dramUsed < r.DRAMCap && s.CanParkResident() &&
+		r.dmaAllowed(ctxBytes(c), now) && r.worthSpilling(c, now) {
+		r.spillOut(s, c, now)
+		if s.LaunchNew(now, r.cfg.SwitchDrainLat) != nil {
+			r.regsFree -= cost
+		}
+	}
+}
+
+// OnCTAReady fires twice for off-chip CTAs: once when the warps' data
+// dependencies resolve (starting the inbound prefetch) and once when the
+// prefetch DMA completes (attempting activation).
+func (r *RegDRAM) OnCTAReady(s *sm.SM, c *sm.CTA, now int64) {
+	if c.State == sm.CTAPendingRF {
+		if s.CanActivateOne(false) {
+			s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+		} else if victim := stalledActive(s); victim != nil {
+			s.Deactivate(victim, sm.CTAPendingRF, now)
+			s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+		}
+		return
+	}
+	if c.State != sm.CTAPendingDRAM {
+		return
+	}
+	d := r.info(c)
+	if d.prefetchDone == 0 {
+		// Prefetch is never paced: a CTA already off-chip must come home
+		// as soon as it is runnable.
+		d.prefetchDone = r.hier.TransferOverlapped(now, ctxBytes(c), mem.TrafficContext)
+		if d.prefetchDone > now {
+			s.ScheduleEvent(d.prefetchDone, c)
+			return
+		}
+		d.prefetchDone = now
+	}
+	if now < d.prefetchDone {
+		return
+	}
+	cost := s.Meta().RegCostPerCTA()
+	if s.CanActivateOne(false) && r.regsFree >= cost {
+		r.regsFree -= cost
+		r.dramUsed--
+		d.prefetchDone = 0
+		s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+		return
+	}
+	if victim := stalledActive(s); victim != nil && r.worthSpilling(victim, now) {
+		r.spillOut(s, victim, now)
+		r.regsFree -= cost
+		r.dramUsed--
+		d.prefetchDone = 0
+		s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+	}
+}
+
+// OnCTAFinished releases the CTA's register allocation.
+func (r *RegDRAM) OnCTAFinished(s *sm.SM, c *sm.CTA, now int64) {
+	r.regsFree += c.RegCost
+}
+
+// AllowIssue implements sm.Policy.
+func (r *RegDRAM) AllowIssue(s *sm.SM, w *sm.Warp, now int64) bool { return true }
+
+// BlockedOnRegisters implements sm.Policy.
+func (r *RegDRAM) BlockedOnRegisters() bool { return false }
+
+// spillCost estimates the channel cycles a register round trip costs right
+// now: both transfers plus the current backlog and pipeline drains.
+func (r *RegDRAM) spillCost(bytes int, now int64) int64 {
+	return int64(float64(2*bytes)/r.hier.DRAM.BytesPerCycle+r.hier.DRAM.QueueDelay(now)) +
+		2*r.cfg.SwitchDrainLat
+}

@@ -1,0 +1,215 @@
+package regfile
+
+import (
+	"testing"
+
+	"finereg/internal/kernels"
+	"finereg/internal/mem"
+	"finereg/internal/sm"
+)
+
+func newRig(t *testing.T, bench string, grid int, pol sm.Policy) (*sm.SM, *rigDisp) {
+	t.Helper()
+	prof, err := kernels.ProfileByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.MustBuild(prof, grid)
+	hier := mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies())
+	disp := &rigDisp{total: grid}
+	s := sm.New(0, sm.Default(), hier, disp, pol)
+	s.BindKernel(k, 0)
+	return s, disp
+}
+
+type rigDisp struct{ next, total int }
+
+func (d *rigDisp) NextCTAID() int {
+	if d.next >= d.total {
+		return -1
+	}
+	d.next++
+	return d.next - 1
+}
+func (d *rigDisp) Remaining() int { return d.total - d.next }
+
+func runRig(t *testing.T, s *sm.SM, disp *rigDisp, bound int64) int64 {
+	t.Helper()
+	var now int64
+	for now < bound {
+		n, _ := s.Tick(now)
+		if len(s.Residents()) == 0 && disp.Remaining() == 0 {
+			return now
+		}
+		if n <= now {
+			n = now + 1
+		}
+		now = n
+	}
+	t.Fatalf("did not finish within %d cycles", bound)
+	return 0
+}
+
+func TestBaselineRespectsRegisterFile(t *testing.T) {
+	// LB: 54 regs x 4 warps = 216 warp-registers per CTA; 2048/216 = 9.
+	pol := NewBaseline(sm.Default())
+	s, _ := newRig(t, "LB", 64, pol)
+	if got := s.ActiveCTAs(); got != 9 {
+		t.Errorf("baseline activated %d LB CTAs, want 9 (register-file limit)", got)
+	}
+	if free := pol.RegsFree(); free != 2048-9*216 {
+		t.Errorf("RegsFree = %d, want %d", free, 2048-9*216)
+	}
+}
+
+func TestBaselineRegisterAccountingBalances(t *testing.T) {
+	pol := NewBaseline(sm.Default())
+	s, disp := newRig(t, "SG", 24, pol)
+	runRig(t, s, disp, 10_000_000)
+	if free := pol.RegsFree(); free != 2048 {
+		t.Errorf("registers leaked: %d free after drain, want 2048", free)
+	}
+}
+
+func TestVirtualThreadExceedsBaselineResidency(t *testing.T) {
+	// CS is Type-S: VT should pack more resident CTAs than the baseline's
+	// 32 scheduling limit by parking stalled ones.
+	polB := NewBaseline(sm.Default())
+	sB, dB := newRig(t, "CS", 96, polB)
+	polV := NewVirtualThread(sm.Default(), mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies()))
+	sV, dV := newRig(t, "CS", 96, polV)
+
+	maxResB, maxResV := 0, 0
+	var nb, nv int64
+	for i := 0; i < 10_000_000; i++ {
+		n1, _ := sB.Tick(nb)
+		n2, _ := sV.Tick(nv)
+		if r := sB.ResidentCTAs(); r > maxResB {
+			maxResB = r
+		}
+		if r := sV.ResidentCTAs(); r > maxResV {
+			maxResV = r
+		}
+		doneB := len(sB.Residents()) == 0 && dB.Remaining() == 0
+		doneV := len(sV.Residents()) == 0 && dV.Remaining() == 0
+		if doneB && doneV {
+			break
+		}
+		if n1 <= nb {
+			n1 = nb + 1
+		}
+		if n2 <= nv {
+			n2 = nv + 1
+		}
+		if !doneB {
+			nb = n1
+		}
+		if !doneV {
+			nv = n2
+		}
+	}
+	if maxResV <= maxResB {
+		t.Errorf("VT peak residency %d should exceed baseline %d", maxResV, maxResB)
+	}
+	if maxResB > 32 {
+		t.Errorf("baseline residency %d exceeds the 32-CTA scheduling limit", maxResB)
+	}
+}
+
+func TestVirtualThreadNoGainForTypeR(t *testing.T) {
+	// LB fills the register file at 9 CTAs; VT has no headroom to park
+	// extra CTAs, so residency must match the baseline.
+	pol := NewVirtualThread(sm.Default(), mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies()))
+	s, _ := newRig(t, "LB", 64, pol)
+	var now int64
+	maxRes := 0
+	for i := 0; i < 30_000; i++ {
+		n, _ := s.Tick(now)
+		if r := s.ResidentCTAs(); r > maxRes {
+			maxRes = r
+		}
+		if n <= now {
+			n = now + 1
+		}
+		now = n
+	}
+	if maxRes != 9 {
+		t.Errorf("VT residency for LB = %d, want 9 (no register headroom)", maxRes)
+	}
+}
+
+func TestRegDRAMCompletesWithContextTraffic(t *testing.T) {
+	prof, _ := kernels.ProfileByName("FD")
+	k := kernels.MustBuild(prof, 64)
+	hier := mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies())
+	disp := &rigDisp{total: 64}
+	pol := NewRegDRAM(sm.Default(), hier, 4)
+	s := sm.New(0, sm.Default(), hier, disp, pol)
+	s.BindKernel(k, 0)
+	runRig(t, s, disp, 30_000_000)
+	// With an off-chip pool the policy may or may not spill depending on
+	// dynamics, but accounting must balance and any context traffic must
+	// be register-sized multiples.
+	if ctx := hier.DRAM.Bytes(mem.TrafficContext); ctx%int64(k.Profile.WarpsPerCTA*k.Profile.Regs*128) != 0 {
+		t.Errorf("context traffic %d is not a whole number of CTA contexts", ctx)
+	}
+}
+
+func TestRegDRAMCapZeroEqualsVT(t *testing.T) {
+	// With no off-chip pool, Reg+DRAM degenerates to Virtual Thread.
+	run := func(pol sm.Policy) int64 {
+		s, disp := newRig(t, "BI", 48, pol)
+		return runRig(t, s, disp, 30_000_000)
+	}
+	hier := mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies())
+	tVT := run(NewVirtualThread(sm.Default(), hier))
+	tRD := run(NewRegDRAM(sm.Default(), hier, 0))
+	if tVT != tRD {
+		t.Errorf("Reg+DRAM with cap 0 finished at %d, VT at %d — should be identical", tRD, tVT)
+	}
+}
+
+func TestRegMutexPacksMoreCTAs(t *testing.T) {
+	// BRS-only allocation admits more CTAs than the baseline's full
+	// static allocation for register-limited kernels.
+	polB := NewBaseline(sm.Default())
+	sB, _ := newRig(t, "LB", 64, polB)
+	polM := NewRegMutex(sm.Default(), mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies()), 0.25)
+	sM, _ := newRig(t, "LB", 64, polM)
+	if sM.ActiveCTAs() <= sB.ActiveCTAs() {
+		t.Errorf("RegMutex activated %d CTAs, baseline %d — BRS should admit more",
+			sM.ActiveCTAs(), sB.ActiveCTAs())
+	}
+}
+
+func TestRegMutexSRPAccountingBalances(t *testing.T) {
+	pol := NewRegMutex(sm.Default(), mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies()), 0.25)
+	s, disp := newRig(t, "SY2", 48, pol)
+	runRig(t, s, disp, 50_000_000)
+	if used := pol.SRPInUse(); used != 0 {
+		t.Errorf("SRP leaked: %d warp-registers still granted after drain", used)
+	}
+}
+
+func TestRegMutexCompletesUnderHeavyContention(t *testing.T) {
+	// A large SRP fraction shrinks the BRS below per-warp demand; the
+	// emergency overdraft must still guarantee completion.
+	pol := NewRegMutex(sm.Default(), mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies()), 0.35)
+	s, disp := newRig(t, "SY2", 96, pol)
+	runRig(t, s, disp, 120_000_000)
+	if pol.DeniedIssues == 0 {
+		t.Error("expected SRP contention denials at SRP fraction 0.35")
+	}
+	if s.Cnt.DepletionCycles == 0 {
+		t.Error("expected depletion stall cycles under contention")
+	}
+}
+
+func TestRegMutexSRPFracClamped(t *testing.T) {
+	if p := NewRegMutex(sm.Default(), nil, -1); p.SRPFrac != 0 {
+		t.Errorf("negative SRP fraction should clamp to 0, got %v", p.SRPFrac)
+	}
+	if p := NewRegMutex(sm.Default(), nil, 2); p.SRPFrac != 0.9 {
+		t.Errorf("huge SRP fraction should clamp to 0.9, got %v", p.SRPFrac)
+	}
+}

@@ -1,0 +1,214 @@
+package regfile
+
+import (
+	"math"
+
+	"finereg/internal/mem"
+	"finereg/internal/sm"
+)
+
+// RegMutex implements the RegMutex policy [17] merged with Virtual Thread
+// (the paper's "VT+RegMutex" configuration): the register file is split
+// into per-warp base register sets (BRS) and a shared register pool (SRP).
+// Each CTA statically allocates only its BRS, so more CTAs fit; when a
+// warp's live register demand exceeds its BRS, it must hold an SRP grant
+// to issue. Grants are not released while the warp is stalled on memory —
+// the contention behaviour the paper measures in Figure 14.
+type RegMutex struct {
+	cfg  sm.Config
+	hier *mem.Hierarchy
+	vt   bool // merge Virtual Thread residency/switching
+	// SRPFrac is the fraction of the register file dedicated to the SRP.
+	SRPFrac float64
+
+	brsRegs  int // BRS registers per thread
+	brsFree  int // warp-registers left in the BRS partition
+	srpFree  int // warp-registers left in the SRP
+	srpTotal int
+
+	grants       map[*sm.Warp]int
+	blocked      bool
+	lastInstr    int64
+	lastMove     int64
+	lastDeniedAt int64
+	// Overdrafts counts emergency SRP oversubscriptions used to break
+	// allocation deadlock (rare; see AllowIssue).
+	Overdrafts int64
+
+	// DeniedIssues counts AllowIssue rejections (Figure 14 diagnostics).
+	DeniedIssues int64
+}
+
+// NewRegMutex returns a VT+RegMutex policy with srpFrac of the register
+// file as the shared pool.
+func NewRegMutex(cfg sm.Config, hier *mem.Hierarchy, srpFrac float64) *RegMutex {
+	if srpFrac < 0 {
+		srpFrac = 0
+	}
+	if srpFrac > 0.9 {
+		srpFrac = 0.9
+	}
+	return &RegMutex{cfg: cfg, hier: hier, vt: true, SRPFrac: srpFrac}
+}
+
+// Name implements sm.Policy.
+func (r *RegMutex) Name() string { return "VT+RegMutex" }
+
+// KernelStart sizes the BRS/SRP split for the bound kernel.
+func (r *RegMutex) KernelStart(s *sm.SM, now int64) {
+	total := r.cfg.TotalWarpRegs()
+	r.srpTotal = int(float64(total) * r.SRPFrac)
+	r.srpFree = r.srpTotal
+	r.brsFree = total - r.srpTotal
+	// The BRS shrinks twice as fast as the SRP grows: carving srpFrac of
+	// the file into the shared pool only pays off when per-warp static
+	// allocations shrink by more than the pool takes, so extra CTAs fit.
+	// (RegMutex's premise is that warps rarely need their full
+	// allocation at once.)
+	regs := s.Meta().RegsPerThread()
+	r.brsRegs = int(math.Ceil(float64(regs) * (1 - 2*r.SRPFrac)))
+	if minBRS := int(math.Ceil(float64(regs) / 4)); r.brsRegs < minBRS {
+		r.brsRegs = minBRS
+	}
+	if r.brsRegs > regs {
+		r.brsRegs = regs
+	}
+	r.grants = make(map[*sm.Warp]int)
+	r.blocked = false
+	r.lastInstr, r.lastMove = -1, 0
+	r.lastDeniedAt = -1
+}
+
+// Note: parked (pending) CTAs deliberately KEEP their SRP grants — their
+// register values still occupy the shared pool. This is the contention
+// the paper measures in Figure 14(b): "when the execution of a warp is
+// stalled by long-latency memory instructions, it continues to occupy SRP
+// and hinders other warps from scheduling". The emergency overdraft in
+// AllowIssue bounds the resulting allocation deadlock.
+
+// brsCost is the per-CTA static allocation in warp-registers.
+func (r *RegMutex) brsCost(s *sm.SM) int { return s.Meta().WarpsPerCTA() * r.brsRegs }
+
+// FillSlots launches/resumes like Virtual Thread, but CTAs only charge
+// their BRS.
+func (r *RegMutex) FillSlots(s *sm.SM, now int64) {
+	cost := r.brsCost(s)
+	for s.CanActivateOne(false) {
+		if c := readyPending(s, sm.CTAPendingRF, now); c != nil {
+			s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+			continue
+		}
+		if !s.CanActivateOne(true) || r.brsFree < cost {
+			return
+		}
+		if s.LaunchNew(now, 0) == nil {
+			return
+		}
+		r.brsFree -= cost
+	}
+}
+
+// OnCTAStalled performs Virtual Thread switching over the BRS partition.
+// A stalled CTA's SRP grants remain held (RegMutex does not release SRP on
+// memory stalls), which is exactly the contention source of Figure 14.
+func (r *RegMutex) OnCTAStalled(s *sm.SM, c *sm.CTA, now int64) {
+	if !r.vt {
+		return
+	}
+	cost := r.brsCost(s)
+	in := readyPending(s, sm.CTAPendingRF, now)
+	canLaunch := s.Disp.Remaining() > 0 && r.brsFree >= cost && s.CanParkResident() &&
+		!launchSaturated(r.hier, &r.cfg, now)
+	if in == nil && !canLaunch {
+		return
+	}
+	s.Deactivate(c, sm.CTAPendingRF, now)
+	if in != nil {
+		s.Reactivate(in, now, r.cfg.SwitchDrainLat)
+		return
+	}
+	if s.LaunchNew(now, r.cfg.SwitchDrainLat) != nil {
+		r.brsFree -= cost
+	}
+}
+
+// OnCTAReady implements sm.Policy like Virtual Thread.
+func (r *RegMutex) OnCTAReady(s *sm.SM, c *sm.CTA, now int64) {
+	if s.CanActivateOne(false) {
+		s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+		return
+	}
+	if victim := stalledActive(s); victim != nil {
+		s.Deactivate(victim, sm.CTAPendingRF, now)
+		s.Reactivate(c, now, r.cfg.SwitchDrainLat)
+	}
+}
+
+// OnCTAFinished releases the BRS allocation and all SRP grants the CTA's
+// warps still hold.
+func (r *RegMutex) OnCTAFinished(s *sm.SM, c *sm.CTA, now int64) {
+	r.brsFree += r.brsCost(s)
+	for _, w := range c.Warps {
+		if g := r.grants[w]; g > 0 {
+			r.srpFree += g
+			delete(r.grants, w)
+		}
+	}
+	if r.srpFree > 0 {
+		r.blocked = false
+	}
+}
+
+// AllowIssue acquires or releases SRP registers so the warp holds exactly
+// its live register demand above the BRS (in-flight values in high
+// registers, plus the register the decoded instruction defines). A warp
+// that cannot acquire its demand is denied issue; a warp that acquires and
+// then stalls on memory keeps the grant — RegMutex does not release SRP on
+// stalls, which is the Figure 14 contention.
+func (r *RegMutex) AllowIssue(s *sm.SM, w *sm.Warp, now int64) bool {
+	need := s.Meta().HighPressure(w.PC, r.brsRegs)
+	if s.Cnt.Instructions != r.lastInstr {
+		r.lastInstr, r.lastMove = s.Cnt.Instructions, now
+	}
+	grant := r.grants[w]
+	switch {
+	case need > grant:
+		delta := need - grant
+		if delta > r.srpFree {
+			// Emergency overdraft: if the whole SM has made no progress
+			// for a long window, SRP allocation has deadlocked (every
+			// holder needs more than remains). Oversubscribe one warp to
+			// guarantee forward progress; the debt repays on release.
+			if now-r.lastMove > 2000 {
+				r.Overdrafts++
+				r.srpFree -= delta
+				r.grants[w] = need
+				return true
+			}
+			r.blocked = true
+			r.DeniedIssues++
+			if now != r.lastDeniedAt {
+				s.Cnt.DepletionCycles++
+				r.lastDeniedAt = now
+			}
+			return false
+		}
+		r.srpFree -= delta
+		r.grants[w] = need
+	case need < grant:
+		r.srpFree += grant - need
+		if need == 0 {
+			delete(r.grants, w)
+		} else {
+			r.grants[w] = need
+		}
+		r.blocked = false
+	}
+	return true
+}
+
+// BlockedOnRegisters reports SRP depletion with schedulable work.
+func (r *RegMutex) BlockedOnRegisters() bool { return r.blocked }
+
+// SRPInUse returns the currently granted SRP warp-registers (tests).
+func (r *RegMutex) SRPInUse() int { return r.srpTotal - r.srpFree }

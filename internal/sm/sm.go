@@ -1,0 +1,760 @@
+package sm
+
+import (
+	"container/heap"
+
+	"finereg/internal/isa"
+	"finereg/internal/kernels"
+	"finereg/internal/mem"
+)
+
+// Policy is the register-file management scheme plugged into an SM. One
+// policy instance is attached per SM and owns that SM's register-file
+// accounting (how much of the RF active and pending CTAs consume, and what
+// a CTA switch costs).
+//
+// The SM invokes the hooks; policies drive residency through the SM
+// primitives LaunchNew, Deactivate and Reactivate.
+type Policy interface {
+	// Name identifies the configuration in results.
+	Name() string
+	// KernelStart resets per-kernel state; called after the SM is bound to
+	// a kernel and before the first FillSlots.
+	KernelStart(s *SM, now int64)
+	// FillSlots should activate (launch or resume) as many CTAs as the
+	// policy's register resources allow. Called at kernel start and after
+	// every CTA completion.
+	FillSlots(s *SM, now int64)
+	// OnCTAStalled fires when every warp of an active CTA is long-blocked
+	// — the CTA-switch trigger.
+	OnCTAStalled(s *SM, c *CTA, now int64)
+	// OnCTAReady fires when a pending CTA's earliest warp dependency has
+	// resolved, making it a resume candidate.
+	OnCTAReady(s *SM, c *CTA, now int64)
+	// OnCTAFinished fires when a CTA's last warp exits, after the SM has
+	// released its scheduling slots and shared memory.
+	OnCTAFinished(s *SM, c *CTA, now int64)
+	// AllowIssue gates instruction issue (RegMutex's shared-register-pool
+	// acquisition); return false to block the warp this cycle.
+	AllowIssue(s *SM, w *Warp, now int64) bool
+	// BlockedOnRegisters reports whether the policy currently has
+	// schedulable work blocked only by register-resource depletion
+	// (Figure 14b accounting).
+	BlockedOnRegisters() bool
+}
+
+// Dispatcher feeds grid CTAs to SMs.
+type Dispatcher interface {
+	// NextCTAID returns the next unlaunched CTA index, or -1 when the grid
+	// is exhausted.
+	NextCTAID() int
+	// Remaining returns how many CTAs are still unlaunched.
+	Remaining() int
+}
+
+// Counters aggregates the SM's raw event counts.
+type Counters struct {
+	Instructions   int64
+	CTAsLaunched   int64
+	CTASwitches    int64
+	CTAStallEvents int64
+	RFReads        int64
+	RFWrites       int64
+	// DepletionCycles counts cycles in which register-resource depletion
+	// (SRP for RegMutex, PCRF for FineReg) held back schedulable work —
+	// the Figure 14(b) metric. Policies maintain it.
+	DepletionCycles int64
+	PCRFReads       int64
+	PCRFWrites      int64
+	SharedAccesses  int64
+
+	// Table III: sum and count of first-issue→first-full-stall latencies.
+	StallLatencySum float64
+	StallLatencyN   int64
+
+	// Figure 5: per-window touched-register fractions.
+	RegWindowFracs []float64
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID   int
+	Cfg  Config
+	Pol  Policy
+	Hier *mem.Hierarchy
+	L1   *mem.Cache
+	Disp Dispatcher
+
+	meta *progMeta
+
+	// Residency.
+	residents  []*CTA
+	schedWarps [][]*Warp // per scheduler
+	greedy     []*Warp
+
+	activeCTAs  int
+	awake       int // active, non-exited warps with wakeAt <= now
+	warpsUsed   int
+	threadsUsed int
+	shmemUsed   int
+	pendingCTAs int
+
+	events      eventHeap
+	stamp       int64
+	schedAssign int
+
+	// instrumentation
+	Cnt          Counters
+	windowIssued int
+	lineBuf      []uint64
+}
+
+// New builds an SM bound to the shared memory hierarchy and dispatcher.
+func New(id int, cfg Config, hier *mem.Hierarchy, disp Dispatcher, pol Policy) *SM {
+	s := &SM{
+		ID:   id,
+		Cfg:  cfg,
+		Pol:  pol,
+		Hier: hier,
+		L1:   mem.MustNewCache(cfg.L1Bytes, cfg.L1Ways),
+		Disp: disp,
+	}
+	s.schedWarps = make([][]*Warp, cfg.NumSchedulers)
+	s.greedy = make([]*Warp, cfg.NumSchedulers)
+	return s
+}
+
+// BindKernel prepares the SM to run kernel k and lets the policy populate
+// its initial CTAs.
+func (s *SM) BindKernel(k *kernels.Kernel, now int64) {
+	s.meta = newProgMeta(k)
+	s.Pol.KernelStart(s, now)
+	s.Pol.FillSlots(s, now)
+}
+
+// Meta exposes the bound program's derived tables to policies.
+func (s *SM) Meta() *ProgInfo {
+	return &ProgInfo{meta: s.meta}
+}
+
+// ProgInfo is the policy-facing view of the bound kernel.
+type ProgInfo struct{ meta *progMeta }
+
+// RegCostPerCTA returns the full static allocation in warp-registers.
+func (p *ProgInfo) RegCostPerCTA() int { return p.meta.regCost }
+
+// WarpsPerCTA returns warps per CTA.
+func (p *ProgInfo) WarpsPerCTA() int { return p.meta.warpsPerCTA }
+
+// SharedMemPerCTA returns shared-memory bytes per CTA.
+func (p *ProgInfo) SharedMemPerCTA() int { return p.meta.sharedMem }
+
+// RegsPerThread returns the per-thread register allocation.
+func (p *ProgInfo) RegsPerThread() int { return p.meta.prog.RegsPerThread }
+
+// LiveCount returns the live-register count at pc.
+func (p *ProgInfo) LiveCount(pc int) int { return p.meta.live.LiveCount(pc) }
+
+// MaxRegAt returns the highest register index the instruction at pc
+// references plus one (0 when it references none).
+func (p *ProgInfo) MaxRegAt(pc int) int { return p.meta.maxReg[pc] }
+
+// HighPressure returns the warp's register demand above the first brs
+// registers at pc: live registers with index >= brs (values that must
+// physically occupy shared-pool entries right now, e.g. in-flight load
+// destinations) plus the destination the instruction at pc is about to
+// define. This is what RegMutex's SRP must hold for the warp.
+func (p *ProgInfo) HighPressure(pc, brs int) int {
+	live := p.meta.live.At(pc)
+	n := 0
+	for _, r := range live.Regs() {
+		if int(r) >= brs {
+			n++
+		}
+	}
+	in := p.meta.prog.At(pc)
+	if in.Dst.Valid() && int(in.Dst) >= brs && !live.Has(in.Dst) {
+		n++
+	}
+	return n
+}
+
+// LiveRegsOf sums the current live warp-register demand of a CTA.
+func (p *ProgInfo) LiveRegsOf(c *CTA) int {
+	total := 0
+	for _, w := range c.Warps {
+		total += w.LiveAt(p.meta.live)
+	}
+	return total
+}
+
+// LiveRefs visits every live register of every non-exited warp of c in
+// warp order — the registers FineReg chains into the PCRF.
+func (p *ProgInfo) LiveRefs(c *CTA, visit func(warp, reg uint8)) {
+	for _, w := range c.Warps {
+		if w.exited {
+			continue
+		}
+		for _, r := range p.meta.live.At(w.PC).Regs() {
+			visit(uint8(w.Idx), uint8(r))
+		}
+	}
+}
+
+// StallPCs returns the distinct PCs at which the CTA's warps are parked —
+// the bit-vector cache probe set for an eviction.
+func (p *ProgInfo) StallPCs(c *CTA) []int {
+	seen := map[int]bool{}
+	var pcs []int
+	for _, w := range c.Warps {
+		if !w.exited && !seen[w.PC] {
+			seen[w.PC] = true
+			pcs = append(pcs, w.PC)
+		}
+	}
+	return pcs
+}
+
+// ---- Residency accounting ----
+
+// ActiveCTAs returns the number of CTAs currently executing.
+func (s *SM) ActiveCTAs() int { return s.activeCTAs }
+
+// PendingCTAs returns the number of parked resident CTAs.
+func (s *SM) PendingCTAs() int { return s.pendingCTAs }
+
+// ResidentCTAs returns active + pending.
+func (s *SM) ResidentCTAs() int { return s.activeCTAs + s.pendingCTAs }
+
+// ActiveThreads returns threads of active CTAs still running.
+func (s *SM) ActiveThreads() int { return s.threadsUsed }
+
+// Residents returns the resident CTA list (policies iterate it to find
+// resume candidates). The slice must not be mutated.
+func (s *SM) Residents() []*CTA { return s.residents }
+
+// CanActivateOne reports whether scheduling resources (CTA/warp/thread
+// slots) and shared memory admit one more active CTA. newResident says
+// whether the CTA would also be a new resident (needing shared memory);
+// resuming a pending CTA already holds its shared memory.
+func (s *SM) CanActivateOne(newResident bool) bool {
+	if s.meta == nil {
+		return false
+	}
+	if s.activeCTAs+1 > s.Cfg.MaxCTAs {
+		return false
+	}
+	if s.warpsUsed+s.meta.warpsPerCTA > s.Cfg.MaxWarps {
+		return false
+	}
+	if s.threadsUsed+s.meta.warpsPerCTA*32 > s.Cfg.MaxThreads {
+		return false
+	}
+	if newResident && !s.CanParkResident() {
+		return false
+	}
+	return true
+}
+
+// CanParkResident reports whether shared memory admits one more *resident*
+// CTA regardless of scheduling slots (used when launching directly into a
+// pending pool, as Reg+DRAM does).
+func (s *SM) CanParkResident() bool {
+	return s.meta != nil &&
+		s.shmemUsed+s.meta.sharedMem <= s.Cfg.SharedMemBytes &&
+		len(s.residents) < s.Cfg.MaxResidentCTAs
+}
+
+// LaunchNew takes the next CTA from the grid and activates it; warps may
+// first issue at now+delay. Returns nil when the grid is exhausted or
+// scheduling resources are full. The caller (policy) is responsible for
+// register-file accounting.
+func (s *SM) LaunchNew(now, delay int64) *CTA {
+	if !s.CanActivateOne(true) {
+		return nil
+	}
+	id := s.Disp.NextCTAID()
+	if id < 0 {
+		return nil
+	}
+	s.stamp++
+	c := &CTA{
+		ID:           id,
+		State:        CTAActive,
+		RegCost:      s.meta.regCost,
+		launchStamp:  s.stamp,
+		firstIssueAt: -1,
+		firstStallAt: -1,
+	}
+	for i := 0; i < s.meta.warpsPerCTA; i++ {
+		w := s.meta.newWarp(c, i, warpUID(id, i), s.stamp*64+int64(i))
+		w.wakeAt = now + delay
+		c.Warps = append(c.Warps, w)
+	}
+	s.residents = append(s.residents, c)
+	s.shmemUsed += s.meta.sharedMem
+	s.enterActive(c, now, delay)
+	s.Cnt.CTAsLaunched++
+	return c
+}
+
+// LaunchParked takes the next grid CTA directly into a pending state
+// (never yet executed). Its ReadyAt is now — it can start as soon as it is
+// activated. Used by Reg+DRAM to queue CTAs in off-chip memory.
+func (s *SM) LaunchParked(now int64, st CTAState) *CTA {
+	if !s.CanParkResident() {
+		return nil
+	}
+	id := s.Disp.NextCTAID()
+	if id < 0 {
+		return nil
+	}
+	s.stamp++
+	c := &CTA{
+		ID:           id,
+		State:        st,
+		RegCost:      s.meta.regCost,
+		launchStamp:  s.stamp,
+		firstIssueAt: -1,
+		firstStallAt: -1,
+		ReadyAt:      now,
+	}
+	for i := 0; i < s.meta.warpsPerCTA; i++ {
+		c.Warps = append(c.Warps, s.meta.newWarp(c, i, warpUID(id, i), s.stamp*64+int64(i)))
+	}
+	s.residents = append(s.residents, c)
+	s.shmemUsed += s.meta.sharedMem
+	s.pendingCTAs++
+	s.Cnt.CTAsLaunched++
+	return c
+}
+
+// enterActive wires an active CTA's live warps into the schedulers.
+func (s *SM) enterActive(c *CTA, now, delay int64) {
+	s.activeCTAs++
+	for _, w := range c.Warps {
+		if w.exited {
+			continue
+		}
+		s.warpsUsed++
+		s.threadsUsed += 32
+		sid := s.schedAssign % s.Cfg.NumSchedulers
+		s.schedAssign++
+		s.schedWarps[sid] = append(s.schedWarps[sid], w)
+		if w.wakeAt < now+delay {
+			w.wakeAt = now + delay
+		}
+		if w.wakeAt > now {
+			w.asleep = true
+			heap.Push(&s.events, event{at: w.wakeAt, warp: w})
+		} else {
+			w.asleep = false
+			s.awake++
+		}
+	}
+}
+
+// Deactivate parks an active CTA in the given pending state, releasing its
+// scheduling slots. The policy does its own register accounting around
+// this call. ReadyAt is set to the earliest warp dependency resolution and
+// an OnCTAReady event is scheduled.
+func (s *SM) Deactivate(c *CTA, st CTAState, now int64) {
+	if c.State != CTAActive {
+		return
+	}
+	c.State = st
+	s.activeCTAs--
+	s.pendingCTAs++
+	ready := int64(-1)
+	for _, w := range c.Warps {
+		if w.exited {
+			continue
+		}
+		s.warpsUsed--
+		s.threadsUsed -= 32
+		w.longBlocked = false
+		if !w.asleep {
+			w.asleep = true // parked; Reactivate re-arms wake-up
+			s.awake--
+		}
+		if ready < 0 || w.wakeAt < ready {
+			ready = w.wakeAt
+		}
+	}
+	c.stalledWarps = 0
+	if ready < now {
+		ready = now
+	}
+	c.ReadyAt = ready
+	s.dropWarpsOf(c)
+	heap.Push(&s.events, event{at: ready, cta: c})
+}
+
+// Reactivate resumes a pending CTA; its warps may first issue at
+// now+delay.
+func (s *SM) Reactivate(c *CTA, now, delay int64) {
+	if c.State == CTAActive || c.State == CTAFinished {
+		return
+	}
+	c.State = CTAActive
+	s.pendingCTAs--
+	s.enterActive(c, now, delay)
+	s.Cnt.CTASwitches++
+}
+
+// warpUID derives a grid-globally unique warp identity from the CTA's
+// grid ID, so a CTA's memory address streams are the same regardless of
+// which SM it lands on or which policy schedules it.
+func warpUID(ctaID, warpIdx int) uint64 {
+	return uint64(ctaID)*64 + uint64(warpIdx) + 1
+}
+
+// dropWarpsOf removes a CTA's warps from the scheduler lists.
+func (s *SM) dropWarpsOf(c *CTA) {
+	for sid := range s.schedWarps {
+		ws := s.schedWarps[sid][:0]
+		for _, w := range s.schedWarps[sid] {
+			if w.CTA != c {
+				ws = append(ws, w)
+			}
+		}
+		s.schedWarps[sid] = ws
+		if s.greedy[sid] != nil && s.greedy[sid].CTA == c {
+			s.greedy[sid] = nil
+		}
+	}
+}
+
+// finishCTA releases a completed CTA's residency and notifies the policy.
+func (s *SM) finishCTA(c *CTA, now int64) {
+	c.State = CTAFinished
+	s.activeCTAs--
+	s.shmemUsed -= s.meta.sharedMem
+	for i, r := range s.residents {
+		if r == c {
+			s.residents = append(s.residents[:i], s.residents[i+1:]...)
+			break
+		}
+	}
+	s.dropWarpsOf(c)
+	s.Pol.OnCTAFinished(s, c, now)
+	s.Pol.FillSlots(s, now)
+}
+
+// Idle reports whether the SM has nothing resident and no grid work.
+func (s *SM) Idle() bool {
+	return len(s.residents) == 0 && (s.Disp == nil || s.Disp.Remaining() == 0)
+}
+
+// ---- Event heap ----
+
+type event struct {
+	at   int64
+	warp *Warp // warp wake, or
+	cta  *CTA  // pending-CTA ready
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// ScheduleEvent lets policies register a future OnCTAReady check.
+func (s *SM) ScheduleEvent(at int64, c *CTA) {
+	heap.Push(&s.events, event{at: at, cta: c})
+}
+
+// ---- The cycle ----
+
+// Tick processes cycle `now`: drains due events, lets each scheduler issue
+// at most one instruction, and returns the next cycle at which this SM can
+// make progress (or a very large value when fully idle). issued reports
+// how many instructions issued this cycle.
+func (s *SM) Tick(now int64) (next int64, issued int) {
+	for len(s.events) > 0 && s.events[0].at <= now {
+		e := heap.Pop(&s.events).(event)
+		if e.warp != nil {
+			w := e.warp
+			if w.asleep && !w.exited && !w.atBarrier && w.wakeAt <= now && w.CTA.State == CTAActive {
+				w.asleep = false
+				s.awake++
+				if w.longBlocked {
+					w.longBlocked = false
+					w.CTA.stalledWarps--
+				}
+			}
+			continue
+		}
+		if c := e.cta; c != nil && c.State.IsPending() && c.ReadyAt <= now {
+			s.Pol.OnCTAReady(s, c, now)
+		}
+	}
+
+	if s.awake == 0 {
+		next = int64(1) << 62
+		if len(s.events) > 0 {
+			next = s.events[0].at
+		}
+		return next, 0
+	}
+
+	for sid := 0; sid < s.Cfg.NumSchedulers; sid++ {
+		if w := s.pick(sid, now); w != nil {
+			s.issue(w, now)
+			s.greedy[sid] = w
+			issued++
+		}
+	}
+
+	next = int64(1) << 62
+	if len(s.events) > 0 {
+		next = s.events[0].at
+	}
+	// Any awake warp (issued, issue-ready, or denied by the policy) means
+	// the SM must be revisited next cycle — a denied warp's retry is what
+	// eventually breaks shared-register-pool allocation deadlock.
+	if s.awake > 0 && now+1 < next {
+		next = now + 1
+	}
+	return next, issued
+}
+
+// pick selects the warp scheduler sid issues from, blocking (and sleeping)
+// warps whose dependencies are not ready.
+func (s *SM) pick(sid int, now int64) *Warp {
+	if s.Cfg.Scheduler == SchedGTO {
+		if g := s.greedy[sid]; g != nil && s.issueReady(g, now) {
+			return g
+		}
+	}
+	var best *Warp
+	for _, w := range s.schedWarps[sid] {
+		if w.exited || w.wakeAt > now {
+			continue
+		}
+		if !s.issueReady(w, now) {
+			continue
+		}
+		if best == nil || w.Age < best.Age {
+			best = w
+			if s.Cfg.Scheduler == SchedLRR {
+				// LRR: first ready warp after the last greedy one; the
+				// simple approximation takes any ready warp.
+				break
+			}
+		}
+	}
+	return best
+}
+
+// issueReady checks scoreboard readiness; a dependency-blocked warp is put
+// to sleep as a side effect.
+func (s *SM) issueReady(w *Warp, now int64) bool {
+	if w.exited || w.CTA.State != CTAActive || w.wakeAt > now {
+		return false
+	}
+	// Register acquisition happens at decode — before operands are ready —
+	// so a warp that then blocks on memory holds its shared-pool grant
+	// across the stall (the RegMutex contention the paper measures).
+	if !s.Pol.AllowIssue(s, w, now) {
+		return false
+	}
+	in := s.meta.prog.At(w.PC)
+	dep := w.depReadyAt(in)
+	if dep > now {
+		s.block(w, dep, now)
+		return false
+	}
+	return true
+}
+
+// block puts a warp to sleep until its dependency resolves and performs
+// CTA-stall detection.
+func (s *SM) block(w *Warp, until, now int64) {
+	w.wakeAt = until
+	if !w.asleep {
+		w.asleep = true
+		s.awake--
+	}
+	heap.Push(&s.events, event{at: until, warp: w})
+	if until-now >= s.Cfg.LongStall && !w.longBlocked {
+		w.longBlocked = true
+		c := w.CTA
+		c.stalledWarps++
+		if c.FullyStalled() {
+			s.Cnt.CTAStallEvents++
+			if c.firstStallAt < 0 && c.firstIssueAt >= 0 {
+				c.firstStallAt = now
+				s.Cnt.StallLatencySum += float64(now - c.firstIssueAt)
+				s.Cnt.StallLatencyN++
+			}
+			// Only offer the CTA to the policy when it will actually be
+			// absent for a while; evicting a CTA whose first warp wakes
+			// shortly just convoys it behind the switch machinery.
+			if c.EarliestWake()-now >= s.Cfg.LongStall {
+				s.Pol.OnCTAStalled(s, c, now)
+			}
+		}
+	}
+}
+
+// issue executes one instruction of warp w at cycle now.
+func (s *SM) issue(w *Warp, now int64) {
+	c := w.CTA
+	in := s.meta.prog.At(w.PC)
+	s.Cnt.Instructions++
+	if c.firstIssueAt < 0 {
+		c.firstIssueAt = now
+	}
+
+	// Register file event accounting (reads per source, one write).
+	s.Cnt.RFReads += int64(in.NSrc)
+	if in.Dst.Valid() {
+		s.Cnt.RFWrites++
+	}
+	if s.Cfg.TrackRegUsage {
+		s.trackUsage(w, in)
+	}
+
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassALU:
+		if in.Dst.Valid() {
+			w.regReady[in.Dst] = now + s.Cfg.ALULat
+		}
+		w.PC++
+	case isa.ClassSFU:
+		if in.Dst.Valid() {
+			w.regReady[in.Dst] = now + s.Cfg.SFULat
+		}
+		w.PC++
+	case isa.ClassMemShared:
+		s.Cnt.SharedAccesses++
+		if in.Dst.Valid() {
+			w.regReady[in.Dst] = now + s.Cfg.ShmemLat
+		}
+		w.PC++
+	case isa.ClassMemGlobal:
+		w.memCounter++
+		stream := w.UID*2654435761 + w.memCounter
+		s.lineBuf = mem.Coalesce(in.Mem, stream, s.lineBuf)
+		res := s.Hier.Access(s.L1, now, s.lineBuf, !in.IsLoad())
+		if in.Dst.Valid() {
+			w.regReady[in.Dst] = res.ReadyAt
+		}
+		w.PC++
+	case isa.ClassSync:
+		// CTA-wide barrier: the warp parks until every non-exited warp of
+		// its CTA arrives, then all release in the same cycle.
+		w.PC++
+		w.atBarrier = true
+		c.barWaiting++
+		if c.barWaiting+c.finishedWarps >= len(c.Warps) {
+			s.releaseBarrier(c, now)
+		} else {
+			// Park unschedulably (no wake event; the last arrival or a
+			// sibling's exit releases the whole CTA).
+			if !w.asleep {
+				w.asleep = true
+				s.awake--
+			}
+			w.wakeAt = barrierParked
+		}
+	case isa.ClassControl:
+		if in.Op == isa.OpEXIT {
+			s.exitWarp(w, now)
+			return
+		}
+		w.PC = w.advanceBranch(s.meta, w.PC, in)
+	}
+}
+
+// barrierParked is the wakeAt sentinel of a warp parked at a barrier: far
+// enough in the future that the schedulers never consider it, released
+// explicitly by releaseBarrier.
+const barrierParked = int64(1) << 61
+
+// releaseBarrier wakes every warp of c parked at its barrier (the paper's
+// generators emit one barrier per loop iteration; arrivals from adjacent
+// iterations are conflated CTA-wide, which is safe because release only
+// ever *adds* schedulability).
+func (s *SM) releaseBarrier(c *CTA, now int64) {
+	for _, bw := range c.Warps {
+		if !bw.atBarrier {
+			continue
+		}
+		bw.atBarrier = false
+		c.barWaiting--
+		if bw.asleep && !bw.exited && bw.wakeAt == barrierParked {
+			bw.wakeAt = now
+			bw.asleep = false
+			s.awake++
+		}
+	}
+}
+
+// exitWarp retires a warp, freeing its scheduling slots; the CTA finishes
+// when its last warp exits.
+func (s *SM) exitWarp(w *Warp, now int64) {
+	w.exited = true
+	c := w.CTA
+	c.finishedWarps++
+	// A warp exiting may satisfy a barrier its siblings are parked at.
+	if c.barWaiting > 0 && c.barWaiting+c.finishedWarps >= len(c.Warps) {
+		s.releaseBarrier(c, now)
+	}
+	if !w.asleep {
+		s.awake--
+	}
+	s.warpsUsed--
+	s.threadsUsed -= 32
+	if c.Finished() {
+		s.finishCTA(c, now)
+		return
+	}
+	if c.FullyStalled() {
+		// The exit may have completed a full-stall condition.
+		s.Cnt.CTAStallEvents++
+		if c.EarliestWake()-now >= s.Cfg.LongStall {
+			s.Pol.OnCTAStalled(s, c, now)
+		}
+	}
+}
+
+// trackUsage implements the Figure 5 window instrumentation.
+func (s *SM) trackUsage(w *Warp, in *isa.Instr) {
+	if in.Dst.Valid() {
+		w.touched = w.touched.Set(in.Dst)
+	}
+	in.Reads(func(r isa.Reg) { w.touched = w.touched.Set(r) })
+	s.windowIssued++
+	if s.windowIssued < 1000 {
+		return
+	}
+	s.windowIssued = 0
+	var touched, allocated int
+	regsPerWarp := s.meta.prog.RegsPerThread
+	for _, c := range s.residents {
+		if c.State != CTAActive {
+			continue
+		}
+		for _, cw := range c.Warps {
+			touched += cw.touched.Count()
+			cw.touched = 0
+			allocated += regsPerWarp
+		}
+	}
+	if allocated > 0 {
+		s.Cnt.RegWindowFracs = append(s.Cnt.RegWindowFracs, float64(touched)/float64(allocated))
+	}
+}
+
+// NextEventAt returns the earliest scheduled event (for idle detection).
+func (s *SM) NextEventAt() int64 {
+	if len(s.events) == 0 {
+		return int64(1) << 62
+	}
+	return s.events[0].at
+}

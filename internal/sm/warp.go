@@ -1,0 +1,272 @@
+package sm
+
+import (
+	"fmt"
+
+	"finereg/internal/isa"
+	"finereg/internal/kernels"
+	"finereg/internal/liveness"
+)
+
+// CTAState tracks where a resident CTA's execution context currently is.
+type CTAState uint8
+
+const (
+	// CTAActive: warps are in the pipeline, registers in the (AC)RF.
+	CTAActive CTAState = iota
+	// CTAPendingRF: context parked, registers still resident in the RF
+	// (Virtual Thread style).
+	CTAPendingRF
+	// CTAPendingPCRF: context parked, live registers compacted into the
+	// PCRF (FineReg).
+	CTAPendingPCRF
+	// CTAPendingDRAM: context parked, registers spilled to off-chip DRAM
+	// (Reg+DRAM / Zorua style).
+	CTAPendingDRAM
+	// CTAFinished: all warps exited.
+	CTAFinished
+)
+
+// IsPending reports whether the CTA is resident but not executing.
+func (s CTAState) IsPending() bool {
+	return s == CTAPendingRF || s == CTAPendingPCRF || s == CTAPendingDRAM
+}
+
+// CTA is one resident cooperative thread array on an SM.
+type CTA struct {
+	// ID is the global CTA index within the grid (drives address streams).
+	ID int
+	// State is maintained by the SM/policy machinery.
+	State CTAState
+	// Warps are the CTA's warp contexts (fixed at launch).
+	Warps []*Warp
+
+	// RegCost is the full static allocation in warp-registers
+	// (regs/thread × warps).
+	RegCost int
+	// LiveRegs is the live warp-register total captured at the last
+	// eviction decision (Σ per-warp live counts).
+	LiveRegs int
+
+	// ReadyAt is the earliest cycle any warp of a pending CTA could issue.
+	ReadyAt int64
+
+	finishedWarps int
+	stalledWarps  int
+	barWaiting    int
+	launchStamp   int64
+
+	firstIssueAt int64 // -1 until first instruction issues
+	firstStallAt int64 // -1 until first complete stall
+
+	// policyData lets the active policy hang bookkeeping off the CTA
+	// (e.g. FineReg's PCRF chain head).
+	policyData any
+}
+
+// FullyStalled reports whether every non-exited warp is long-blocked.
+func (c *CTA) FullyStalled() bool {
+	return c.State == CTAActive &&
+		c.finishedWarps < len(c.Warps) &&
+		c.stalledWarps+c.finishedWarps == len(c.Warps)
+}
+
+// EarliestWake returns the soonest scoreboard wake time among non-exited
+// warps — the CTA's best-case resume time if it were parked now.
+func (c *CTA) EarliestWake() int64 {
+	best := int64(-1)
+	for _, w := range c.Warps {
+		if w.exited {
+			continue
+		}
+		if best < 0 || w.wakeAt < best {
+			best = w.wakeAt
+		}
+	}
+	return best
+}
+
+// Finished reports whether all warps exited.
+func (c *CTA) Finished() bool { return c.finishedWarps == len(c.Warps) }
+
+// DebugWarps renders per-warp scheduler state for deadlock diagnostics.
+func (c *CTA) DebugWarps() string {
+	out := ""
+	for _, w := range c.Warps {
+		out += fmt.Sprintf("[w%d pc=%d asleep=%v bar=%v long=%v exited=%v wake=%d] ",
+			w.Idx, w.PC, w.asleep, w.atBarrier, w.longBlocked, w.exited, w.wakeAt)
+	}
+	return out
+}
+
+// SetPolicyData attaches policy-private state to the CTA.
+func (c *CTA) SetPolicyData(v any) { c.policyData = v }
+
+// PolicyData returns the policy-private state.
+func (c *CTA) PolicyData() any { return c.policyData }
+
+// Warp is one warp's timing context.
+type Warp struct {
+	CTA *CTA
+	// Idx is the warp's index within its CTA.
+	Idx int
+	// UID is globally unique (drives memory address streams).
+	UID uint64
+	// Age is the launch stamp used by GTO's "oldest" order.
+	Age int64
+
+	// PC is the next instruction to issue.
+	PC int
+
+	regReady [isa.MaxRegs]int64
+
+	// loopRemain holds the remaining trip count per loop slot.
+	loopRemain []int32
+	// divergeRet is a small stack of pending else-path PCs for forward
+	// divergent branches.
+	divergeRet []int
+
+	wakeAt      int64
+	asleep      bool
+	longBlocked bool
+	atBarrier   bool
+	exited      bool
+
+	memCounter uint64
+
+	// touched accumulates registers referenced in the current Figure 5
+	// instrumentation window.
+	touched liveness.BitVec
+}
+
+// Exited reports whether the warp hit EXIT.
+func (w *Warp) Exited() bool { return w.exited }
+
+// WakeAt returns the warp's scoreboard wake time.
+func (w *Warp) WakeAt() int64 { return w.wakeAt }
+
+// LiveAt returns the warp's current live-register count according to the
+// kernel's liveness table (0 once exited). This is the per-warp PCRF
+// demand when the warp's CTA is evicted.
+func (w *Warp) LiveAt(info *liveness.Info) int {
+	if w.exited {
+		return 0
+	}
+	return info.LiveCount(w.PC)
+}
+
+// progMeta caches per-program derived tables the SM needs at issue time.
+type progMeta struct {
+	prog *isa.Program
+	live *liveness.Info
+	// loopSlot maps a backward-branch PC to a dense slot index, -1
+	// otherwise.
+	loopSlot []int
+	numLoops int
+	// maxReg[pc] is the highest register index referenced at pc, plus one.
+	maxReg []int
+	// kernel geometry
+	warpsPerCTA int
+	sharedMem   int
+	regCost     int // warp-registers per CTA
+}
+
+func newProgMeta(k *kernels.Kernel) *progMeta {
+	p := k.Prog
+	m := &progMeta{
+		prog:        p,
+		live:        k.Live,
+		loopSlot:    make([]int, p.Len()),
+		warpsPerCTA: k.Profile.WarpsPerCTA,
+		sharedMem:   k.Profile.SharedMem,
+		regCost:     k.Profile.WarpsPerCTA * k.Profile.Regs,
+	}
+	for pc := range m.loopSlot {
+		m.loopSlot[pc] = -1
+	}
+	m.maxReg = make([]int, p.Len())
+	for pc := 0; pc < p.Len(); pc++ {
+		in := p.At(pc)
+		if in.Op == isa.OpBRA && in.IsBackward(pc) {
+			m.loopSlot[pc] = m.numLoops
+			m.numLoops++
+		}
+		hi := -1
+		if in.Dst.Valid() {
+			hi = int(in.Dst)
+		}
+		in.Reads(func(r isa.Reg) {
+			if int(r) > hi {
+				hi = int(r)
+			}
+		})
+		m.maxReg[pc] = hi + 1
+	}
+	return m
+}
+
+// newWarp creates a warp context at PC 0 with loop counters armed.
+func (m *progMeta) newWarp(c *CTA, idx int, uid uint64, age int64) *Warp {
+	w := &Warp{CTA: c, Idx: idx, UID: uid, Age: age}
+	w.loopRemain = make([]int32, m.numLoops)
+	for pc := 0; pc < m.prog.Len(); pc++ {
+		if slot := m.loopSlot[pc]; slot >= 0 {
+			w.loopRemain[slot] = int32(m.prog.At(pc).Trip)
+		}
+	}
+	return w
+}
+
+// depReadyAt returns the cycle at which the instruction's register
+// dependencies (RAW on sources/predicate, WAW on destination) resolve.
+func (w *Warp) depReadyAt(in *isa.Instr) int64 {
+	ready := int64(0)
+	for _, r := range in.Srcs[:in.NSrc] {
+		if r.Valid() && w.regReady[r] > ready {
+			ready = w.regReady[r]
+		}
+	}
+	if in.Pred.Valid() && w.regReady[in.Pred] > ready {
+		ready = w.regReady[in.Pred]
+	}
+	if in.Dst.Valid() && w.regReady[in.Dst] > ready {
+		ready = w.regReady[in.Dst]
+	}
+	return ready
+}
+
+// advanceBranch computes the next PC after executing a branch at pc.
+//
+// Control-flow contract of the timing model (matching the kernel
+// generators):
+//   - backward conditional branch: loop edge, taken Trip-1 times per entry;
+//   - forward conditional branch with Diverge: both paths execute — fall
+//     through now, remember the target; the next unconditional forward
+//     branch (the join jump) diverts to it;
+//   - forward conditional branch without Diverge: not taken;
+//   - unconditional forward branch: taken (or diverted, see above).
+func (w *Warp) advanceBranch(m *progMeta, pc int, in *isa.Instr) int {
+	if in.IsBackward(pc) {
+		slot := m.loopSlot[pc]
+		w.loopRemain[slot]--
+		if w.loopRemain[slot] > 0 {
+			return in.Target
+		}
+		w.loopRemain[slot] = int32(in.Trip) // re-arm for outer re-entry
+		return pc + 1
+	}
+	if in.IsConditional() {
+		if in.Diverge {
+			w.divergeRet = append(w.divergeRet, in.Target)
+		}
+		return pc + 1
+	}
+	// Unconditional forward branch: divert to a pending diverged path if
+	// one exists (PDOM-style serialization), else jump.
+	if n := len(w.divergeRet); n > 0 {
+		t := w.divergeRet[n-1]
+		w.divergeRet = w.divergeRet[:n-1]
+		return t
+	}
+	return in.Target
+}

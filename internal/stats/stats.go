@@ -1,0 +1,195 @@
+// Package stats defines the metric counters the simulator produces and
+// small aggregation helpers (means, geomeans, normalization) used by the
+// experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Metrics is the full set of counters collected from one kernel run on one
+// GPU configuration. All cycle counts are core clocks.
+type Metrics struct {
+	Benchmark string
+	Config    string
+
+	// Core progress.
+	Cycles       int64
+	Instructions int64
+
+	// TLP accounting (time-weighted averages across SMs).
+	AvgResidentCTAs  float64 // active + pending CTAs per SM
+	AvgActiveCTAs    float64 // CTAs whose warps are schedulable
+	AvgActiveThreads float64
+
+	// CTA lifecycle.
+	CTAsLaunched int64
+	CTASwitches  int64 // pending<->active exchanges
+	CTAStalls    int64 // all-warps-stalled events
+
+	// Stall cycles attributable to register resources being depleted while
+	// schedulable CTAs existed (Figure 14b: PCRF for FineReg, SRP for
+	// RegMutex).
+	RegDepletionStallCycles int64
+
+	// Average cycles from a CTA's first issue to its first complete stall
+	// (Table III).
+	CyclesToFirstStall float64
+
+	// Memory system.
+	L1Accesses, L1Misses int64
+	L2Accesses, L2Misses int64
+	DRAMDemandBytes      int64 // demand loads/stores
+	DRAMContextBytes     int64 // CTA context switching (Reg+DRAM)
+	DRAMBitvecBytes      int64 // live-register bit-vector fetches (FineReg)
+
+	// Register file events (128-byte warp-register granularity).
+	RFReads, RFWrites     int64
+	PCRFReads, PCRFWrites int64
+
+	// SFU / shared-memory ops, for the energy model.
+	SharedAccesses int64
+}
+
+// IPC returns instructions per cycle (0 when no cycles elapsed).
+func (m *Metrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Instructions) / float64(m.Cycles)
+}
+
+// DRAMBytes returns total off-chip traffic.
+func (m *Metrics) DRAMBytes() int64 {
+	return m.DRAMDemandBytes + m.DRAMContextBytes + m.DRAMBitvecBytes
+}
+
+// L1MissRate returns the L1 miss ratio.
+func (m *Metrics) L1MissRate() float64 { return ratio(m.L1Misses, m.L1Accesses) }
+
+// L2MissRate returns the L2 miss ratio.
+func (m *Metrics) L2MissRate() float64 { return ratio(m.L2Misses, m.L2Accesses) }
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// String summarizes the headline metrics on one line.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("%s/%s: IPC=%.3f cycles=%d ctas=%.1f(act %.1f) switches=%d dram=%dB",
+		m.Benchmark, m.Config, m.IPC(), m.Cycles, m.AvgResidentCTAs, m.AvgActiveCTAs,
+		m.CTASwitches, m.DRAMBytes())
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of xs; entries must be positive.
+// The paper's normalized-performance averages are conventionally geometric.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Speedup returns new/old, guarding division by zero.
+func Speedup(newV, oldV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return newV / oldV
+}
+
+// Table renders rows of (label, values...) with a header, aligned, for the
+// experiment CLIs. All rows must have len(header)-1 values.
+type Table struct {
+	Header []string
+	rows   [][]string
+}
+
+// AddRow appends a row; values are formatted with %v (floats with %.3f).
+func (t *Table) AddRow(label string, vals ...any) {
+	row := []string{label}
+	for _, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", x))
+		case float32:
+			row = append(row, fmt.Sprintf("%.3f", x))
+		default:
+			row = append(row, fmt.Sprintf("%v", x))
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	all := append([][]string{t.Header}, t.rows...)
+	widths := make([]int, len(t.Header))
+	for _, row := range all {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for ri, row := range all {
+		for i, cell := range row {
+			pad := widths[i] - len(cell)
+			if i > 0 {
+				sb.WriteString("  ")
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(cell)
+			} else {
+				sb.WriteString(cell)
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// SortedKeys returns map keys in sorted order, for deterministic output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

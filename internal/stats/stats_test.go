@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricsDerived(t *testing.T) {
+	m := &Metrics{
+		Benchmark: "CS", Config: "FineReg",
+		Cycles: 1000, Instructions: 2500,
+		L1Accesses: 100, L1Misses: 30,
+		L2Accesses: 30, L2Misses: 6,
+		DRAMDemandBytes: 1000, DRAMContextBytes: 200, DRAMBitvecBytes: 24,
+	}
+	if got := m.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	if got := m.DRAMBytes(); got != 1224 {
+		t.Errorf("DRAMBytes = %d, want 1224", got)
+	}
+	if got := m.L1MissRate(); got != 0.3 {
+		t.Errorf("L1MissRate = %v, want 0.3", got)
+	}
+	if got := m.L2MissRate(); got != 0.2 {
+		t.Errorf("L2MissRate = %v, want 0.2", got)
+	}
+	if s := m.String(); !strings.Contains(s, "CS/FineReg") {
+		t.Errorf("String() = %q, missing identity", s)
+	}
+}
+
+func TestMetricsZeroSafe(t *testing.T) {
+	m := &Metrics{}
+	if m.IPC() != 0 || m.L1MissRate() != 0 || m.L2MissRate() != 0 {
+		t.Error("zero-valued metrics must not divide by zero")
+	}
+}
+
+func TestMeanGeomean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Geomean = %v, want 2", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", got)
+	}
+	if got := Geomean([]float64{1, -2}); got != 0 {
+		t.Errorf("Geomean with nonpositive input = %v, want 0", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(3, 2); got != 1.5 {
+		t.Errorf("Speedup = %v, want 1.5", got)
+	}
+	if got := Speedup(3, 0); got != 0 {
+		t.Errorf("Speedup by zero = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"bench", "IPC", "count"}}
+	tbl.AddRow("CS", 1.23456, 42)
+	tbl.AddRow("LongBenchName", 0.5, 7)
+	out := tbl.String()
+	for _, want := range []string{"bench", "1.235", "42", "LongBenchName", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4 (header, rule, 2 rows)", len(lines))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+// Property: geomean lies between min and max of its (positive) inputs.
+func TestGeomeanBoundedQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = 0.001 + float64(r)/100
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
