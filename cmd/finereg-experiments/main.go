@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	finereg-experiments [-only t2,f2,f3,f4,f5,t3,f12,f13,f14,f15,f16,f17,f18,f19,abl]
+//	finereg-experiments [-only t2,f2,f3,f4,f5,t3,f12,f13,f14,f15,f16,f17,f18,f19,abl,stalls]
 //	                    [-sms 16] [-grid-scale 1.0] [-quick]
 //
 // Each experiment prints the same rows/series the paper reports; see
@@ -110,6 +110,9 @@ func main() {
 	})
 	run("abl", "Ablations: FineReg design choices", func() (interface{ Render() string }, error) {
 		return experiments.Ablations(opts)
+	})
+	run("stalls", "Stall attribution: warp-slot cycle breakdown", func() (interface{ Render() string }, error) {
+		return experiments.StallBreakdowns(opts, nil)
 	})
 }
 

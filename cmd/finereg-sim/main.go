@@ -6,6 +6,13 @@
 //
 //	finereg-sim [-bench CS,LB | all] [-policy baseline,vt,regdram,regmutex,finereg | all]
 //	            [-sms 16] [-grid-scale 1.0] [-srp 0.25] [-dram-cap 4] [-v]
+//	            [-json | -csv] [-stalls]
+//
+// -json and -csv replace the table with machine-readable output on stdout
+// (one record per benchmark × policy run, derived ratios included).
+// -stalls attaches the stall-attribution tracer to every run so the
+// records carry the warp-slot cycle breakdown (small simulation slowdown,
+// no timing change).
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"finereg/internal/gpu"
 	"finereg/internal/kernels"
 	"finereg/internal/stats"
+	"finereg/internal/trace"
 )
 
 func main() {
@@ -28,6 +36,9 @@ func main() {
 		srp        = flag.Float64("srp", 0.25, "RegMutex SRP fraction of the register file")
 		dramCap    = flag.Int("dram-cap", 4, "Reg+DRAM off-chip pending CTAs per SM")
 		verbose    = flag.Bool("v", false, "print extended metrics")
+		jsonOut    = flag.Bool("json", false, "emit metrics as a JSON array instead of the table")
+		csvOut     = flag.Bool("csv", false, "emit metrics as CSV instead of the table")
+		stalls     = flag.Bool("stalls", false, "trace each run and attach the stall-cycle breakdown")
 	)
 	flag.Parse()
 
@@ -46,6 +57,7 @@ func main() {
 	policies := policySet(*policyFlag, *srp, *dramCap)
 
 	tbl := &stats.Table{Header: []string{"bench/policy", "IPC", "cycles", "resident", "active", "switches", "dramKB"}}
+	var runs []*stats.Metrics
 	for _, b := range benches {
 		p, err := kernels.ProfileByName(strings.TrimSpace(b))
 		if err != nil {
@@ -55,11 +67,25 @@ func main() {
 		for _, pol := range policies {
 			k := kernels.MustBuild(p, int(float64(p.GridCTAs)*scale+0.5))
 			g := gpu.New(cfg, pol.factory)
+			var agg *trace.StallAggregator
+			if *stalls {
+				agg = trace.NewStallAggregator()
+				g.SetTrace(agg)
+			}
 			m, err := g.Run(k)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s/%s: %v\n", b, pol.name, err)
 				os.Exit(1)
 			}
+			if agg != nil {
+				bd := agg.Breakdown()
+				if err := bd.Check(); err != nil {
+					fmt.Fprintf(os.Stderr, "%s/%s: stall accounting: %v\n", b, pol.name, err)
+					os.Exit(1)
+				}
+				m.Stalls = bd
+			}
+			runs = append(runs, m)
 			tbl.AddRow(fmt.Sprintf("%s/%s", p.Abbrev, pol.name),
 				m.IPC(), m.Cycles, m.AvgResidentCTAs, m.AvgActiveCTAs, m.CTASwitches, m.DRAMBytes()>>10)
 			if *verbose {
@@ -69,7 +95,20 @@ func main() {
 			}
 		}
 	}
-	fmt.Print(tbl)
+	switch {
+	case *jsonOut:
+		if err := stats.WriteJSON(os.Stdout, runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *csvOut:
+		if err := stats.WriteCSV(os.Stdout, runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Print(tbl)
+	}
 }
 
 type namedPolicy struct {

@@ -5,6 +5,7 @@ import (
 
 	"finereg/internal/mem"
 	"finereg/internal/sm"
+	"finereg/internal/trace"
 )
 
 // ctaInfo is the FineReg policy's per-CTA bookkeeping: its status-monitor
@@ -190,6 +191,9 @@ func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
 		f.acrfFree -= in.RegCost
 		f.mon.Set(inInfo.slot, CtxPipeline, RegACRF)
 		s.Reactivate(in, now, lat+f.cfg.SwitchDrainLat)
+		if t := s.Trace(); t != nil {
+			t.RegTransfer(s.ID, in.ID, trace.XferRestoreFromPCRF, len(restored), len(restored)*sm.WarpRegBytes, now)
+		}
 	} else {
 		evictBv := f.bitvecDelay(s, c, now)
 		evictLat := evictBv + f.evictStore(s, c, now)
@@ -221,9 +225,15 @@ func (f *FineReg) evictDemand(s *sm.SM, c *sm.CTA) int {
 // PC of c and returns the worst-case fetch delay.
 func (f *FineReg) bitvecDelay(s *sm.SM, c *sm.CTA, now int64) int64 {
 	var bvDelay int64
+	missesBefore := f.rmu.Misses
 	for _, pc := range s.Meta().StallPCs(c) {
 		if d := f.rmu.Lookup(pc, now); d > bvDelay {
 			bvDelay = d
+		}
+	}
+	if t := s.Trace(); t != nil {
+		if fetched := int(f.rmu.Misses - missesBefore); fetched > 0 {
+			t.RegTransfer(s.ID, c.ID, trace.XferBitvec, fetched, fetched*bitvecBytes, now)
 		}
 	}
 	return bvDelay
@@ -263,6 +273,9 @@ func (f *FineReg) evictStore(s *sm.SM, c *sm.CTA, now int64) int64 {
 	}
 	s.Cnt.PCRFWrites += int64(len(refs))
 	s.Cnt.RFReads += int64(len(refs))
+	if t := s.Trace(); t != nil {
+		t.RegTransfer(s.ID, c.ID, trace.XferEvictToPCRF, len(refs), len(refs)*sm.WarpRegBytes, now)
+	}
 	s.Deactivate(c, sm.CTAPendingPCRF, now)
 	f.acrfFree += c.RegCost
 	info := f.info(c)
@@ -282,6 +295,9 @@ func (f *FineReg) restore(s *sm.SM, c *sm.CTA, now, extraLat int64) {
 	f.acrfFree -= c.RegCost
 	f.mon.Set(info.slot, CtxPipeline, RegACRF)
 	s.Reactivate(c, now, restoreLat(len(refs), s.Meta().WarpsPerCTA())+f.cfg.SwitchDrainLat+extraLat)
+	if t := s.Trace(); t != nil {
+		t.RegTransfer(s.ID, c.ID, trace.XferRestoreFromPCRF, len(refs), len(refs)*sm.WarpRegBytes, now)
+	}
 }
 
 // OnCTAReady resumes the CTA directly when the ACRF has room, or swaps it

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/stats"
+	"finereg/internal/trace"
+)
+
+// StallRun is one traced simulation: its metrics with the stall breakdown
+// attached (Metrics.Stalls is always non-nil here).
+type StallRun struct {
+	Metrics *stats.Metrics
+}
+
+// StallReport holds the traced runs of a benchmark × configuration sweep,
+// bucketing every warp-slot cycle by why the warp did not issue.
+type StallReport struct {
+	Configs []ConfigName
+	Runs    map[string]map[ConfigName]*StallRun // benchmark -> config -> run
+}
+
+// StallBreakdowns runs each benchmark under each configuration with a
+// stall-attribution aggregator attached. Unlike runConfig it does not
+// per-application-tune Reg+DRAM/RegMutex (a traced run is a diagnostic
+// probe, not a reported score): it uses the paper's default operating
+// points (DRAM cap 4, SRP 0.25).
+func StallBreakdowns(o Options, configs []ConfigName) (*StallReport, error) {
+	if len(configs) == 0 {
+		configs = StandardConfigs()
+	}
+	rep := &StallReport{Configs: configs, Runs: map[string]map[ConfigName]*StallRun{}}
+	for _, name := range o.benchNames() {
+		prof, err := o.profile(name)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs[name] = map[ConfigName]*StallRun{}
+		for _, cn := range configs {
+			pf, err := factoryFor(cn)
+			if err != nil {
+				return nil, err
+			}
+			r, err := tracedRun(o.config(), prof, o.grid(&prof), pf)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, cn, err)
+			}
+			r.Metrics.Config = string(cn)
+			rep.Runs[name][cn] = r
+		}
+	}
+	return rep, nil
+}
+
+// factoryFor maps a configuration name to its default-operating-point
+// policy factory.
+func factoryFor(cn ConfigName) (gpu.PolicyFactory, error) {
+	switch cn {
+	case CfgBaseline:
+		return gpu.Baseline(), nil
+	case CfgVT:
+		return gpu.VirtualThread(), nil
+	case CfgRegDRAM:
+		return gpu.RegDRAM(4), nil
+	case CfgRegMutex:
+		return gpu.VTRegMutex(0.25), nil
+	case CfgFineReg:
+		return gpu.FineRegDefault(), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown configuration %q", cn)
+}
+
+// tracedRun executes one simulation with a stall aggregator attached and
+// verifies the accounting partition before returning.
+func tracedRun(cfg gpu.Config, prof kernels.Profile, grid int, pf gpu.PolicyFactory) (*StallRun, error) {
+	k, err := kernels.Build(prof, grid)
+	if err != nil {
+		return nil, err
+	}
+	agg := trace.NewStallAggregator()
+	g := gpu.New(cfg, pf)
+	g.SetTrace(agg)
+	m, err := g.Run(k)
+	if err != nil {
+		return nil, err
+	}
+	b := agg.Breakdown()
+	if err := b.Check(); err != nil {
+		return nil, fmt.Errorf("stall accounting: %w", err)
+	}
+	m.Stalls = b
+	return &StallRun{Metrics: m}, nil
+}
+
+// Render prints one row per benchmark × configuration with the share of
+// warp-slot cycles in each bucket.
+func (r *StallReport) Render() string {
+	t := &stats.Table{Header: []string{
+		"bench/config", "slotCyc", "issue%", "idle%", "sboard%", "mem%", "xfer%", "deplete%", "bar%",
+	}}
+	pct := func(v, total int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(total)
+	}
+	for _, bench := range stats.SortedKeys(r.Runs) {
+		for _, cn := range r.Configs {
+			run := r.Runs[bench][cn]
+			if run == nil {
+				continue
+			}
+			s := run.Metrics.Stalls
+			t.AddRow(fmt.Sprintf("%s/%s", bench, cn),
+				s.WarpSlotCycles,
+				pct(s.IssueCycles, s.WarpSlotCycles),
+				pct(s.IdleCycles, s.WarpSlotCycles),
+				pct(s.ScoreboardCycles, s.WarpSlotCycles),
+				pct(s.MemoryCycles, s.WarpSlotCycles),
+				pct(s.TransferCycles, s.WarpSlotCycles),
+				pct(s.RegDepletionCycles, s.WarpSlotCycles),
+				pct(s.BarrierCycles, s.WarpSlotCycles))
+		}
+	}
+	return t.String()
+}

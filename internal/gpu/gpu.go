@@ -13,6 +13,7 @@ import (
 	"finereg/internal/mem"
 	"finereg/internal/sm"
 	"finereg/internal/stats"
+	"finereg/internal/trace"
 )
 
 // Config is the whole-GPU configuration (Table I by default).
@@ -87,6 +88,17 @@ type GPU struct {
 	Hier *mem.Hierarchy
 	SMs  []*sm.SM
 	disp *dispatcher
+	sink trace.Sink
+}
+
+// SetTrace attaches an event sink to every SM and to the run loop. Pass
+// nil to detach. The zero-sink (nil) path costs one pointer check per
+// emission site, so an untraced run is unaffected.
+func (g *GPU) SetTrace(t trace.Sink) {
+	g.sink = t
+	for _, s := range g.SMs {
+		s.SetTrace(t)
+	}
 }
 
 // New constructs the GPU with one policy instance per SM.
@@ -118,6 +130,9 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 
 	for _, s := range g.SMs {
 		s.BindKernel(k, 0)
+	}
+	if g.sink != nil {
+		g.sink.RunStart(k.Name(), len(g.SMs))
 	}
 
 	var now int64
@@ -156,6 +171,9 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 		}
 	}
 
+	if g.sink != nil {
+		g.sink.RunEnd(now)
+	}
 	return g.collect(k, now, residentInt, activeInt, threadsInt), nil
 }
 

@@ -3,6 +3,7 @@ package regfile
 import (
 	"finereg/internal/mem"
 	"finereg/internal/sm"
+	"finereg/internal/trace"
 )
 
 // dramInfo is RegDRAM's per-CTA bookkeeping for off-chip pending CTAs.
@@ -134,6 +135,9 @@ func (r *RegDRAM) FillSlots(s *sm.SM, now int64) {
 func (r *RegDRAM) spillOut(s *sm.SM, c *sm.CTA, now int64) {
 	r.hier.TransferOverlapped(now, ctxBytes(c), mem.TrafficContext)
 	r.chargeDMA(ctxBytes(c), now)
+	if t := s.Trace(); t != nil {
+		t.RegTransfer(s.ID, c.ID, trace.XferSpillToDRAM, c.RegCost, ctxBytes(c), now)
+	}
 	s.Deactivate(c, sm.CTAPendingDRAM, now)
 	r.info(c).prefetchDone = 0
 	r.dramUsed++
@@ -213,6 +217,9 @@ func (r *RegDRAM) OnCTAReady(s *sm.SM, c *sm.CTA, now int64) {
 		// Prefetch is never paced: a CTA already off-chip must come home
 		// as soon as it is runnable.
 		d.prefetchDone = r.hier.TransferOverlapped(now, ctxBytes(c), mem.TrafficContext)
+		if t := s.Trace(); t != nil {
+			t.RegTransfer(s.ID, c.ID, trace.XferPrefetchFromDRAM, c.RegCost, ctxBytes(c), now)
+		}
 		if d.prefetchDone > now {
 			s.ScheduleEvent(d.prefetchDone, c)
 			return

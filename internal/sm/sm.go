@@ -6,6 +6,7 @@ import (
 	"finereg/internal/isa"
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
+	"finereg/internal/trace"
 )
 
 // Policy is the register-file management scheme plugged into an SM. One
@@ -107,7 +108,19 @@ type SM struct {
 	Cnt          Counters
 	windowIssued int
 	lineBuf      []uint64
+
+	// sink receives cycle-level trace events; nil (the default) disables
+	// tracing at the cost of one untaken branch per emission site.
+	sink trace.Sink
 }
+
+// SetTrace attaches an event sink (nil disables tracing). Attach before
+// BindKernel so lifecycle events are complete.
+func (s *SM) SetTrace(t trace.Sink) { s.sink = t }
+
+// Trace returns the attached sink (nil when tracing is off); policies use
+// it to emit register-transfer events.
+func (s *SM) Trace() trace.Sink { return s.sink }
 
 // New builds an SM bound to the shared memory hierarchy and dispatcher.
 func New(id int, cfg Config, hier *mem.Hierarchy, disp Dispatcher, pol Policy) *SM {
@@ -293,6 +306,9 @@ func (s *SM) LaunchNew(now, delay int64) *CTA {
 	}
 	s.residents = append(s.residents, c)
 	s.shmemUsed += s.meta.sharedMem
+	if s.sink != nil {
+		s.sink.CTAEvent(s.ID, trace.CTALaunch, c.ID, now, 0)
+	}
 	s.enterActive(c, now, delay)
 	s.Cnt.CTAsLaunched++
 	return c
@@ -326,6 +342,9 @@ func (s *SM) LaunchParked(now int64, st CTAState) *CTA {
 	s.shmemUsed += s.meta.sharedMem
 	s.pendingCTAs++
 	s.Cnt.CTAsLaunched++
+	if s.sink != nil {
+		s.sink.CTAEvent(s.ID, trace.CTALaunchParked, c.ID, now, 0)
+	}
 	return c
 }
 
@@ -350,6 +369,20 @@ func (s *SM) enterActive(c *CTA, now, delay int64) {
 		} else {
 			w.asleep = false
 			s.awake++
+		}
+		if s.sink != nil {
+			// A warp entering blocked waits out either the switch's
+			// register transfer/drain (wake == now+delay) or a memory
+			// dependency that outlasts it.
+			r := trace.ReasonIdle
+			if w.wakeAt > now {
+				if w.wakeAt == now+delay {
+					r = trace.ReasonTransfer
+				} else {
+					r = trace.ReasonMemory
+				}
+			}
+			s.sink.WarpSpawn(s.ID, c.ID, w.Idx, now, w.wakeAt, r)
 		}
 	}
 }
@@ -380,6 +413,9 @@ func (s *SM) Deactivate(c *CTA, st CTAState, now int64) {
 		if ready < 0 || w.wakeAt < ready {
 			ready = w.wakeAt
 		}
+		if s.sink != nil {
+			s.sink.WarpDrop(s.ID, c.ID, w.Idx, now)
+		}
 	}
 	c.stalledWarps = 0
 	if ready < now {
@@ -388,6 +424,9 @@ func (s *SM) Deactivate(c *CTA, st CTAState, now int64) {
 	c.ReadyAt = ready
 	s.dropWarpsOf(c)
 	heap.Push(&s.events, event{at: ready, cta: c})
+	if s.sink != nil {
+		s.sink.CTAEvent(s.ID, trace.CTADeactivate, c.ID, now, int64(st))
+	}
 }
 
 // Reactivate resumes a pending CTA; its warps may first issue at
@@ -398,6 +437,9 @@ func (s *SM) Reactivate(c *CTA, now, delay int64) {
 	}
 	c.State = CTAActive
 	s.pendingCTAs--
+	if s.sink != nil {
+		s.sink.CTAEvent(s.ID, trace.CTAReactivate, c.ID, now, delay)
+	}
 	s.enterActive(c, now, delay)
 	s.Cnt.CTASwitches++
 }
@@ -428,6 +470,9 @@ func (s *SM) dropWarpsOf(c *CTA) {
 // finishCTA releases a completed CTA's residency and notifies the policy.
 func (s *SM) finishCTA(c *CTA, now int64) {
 	c.State = CTAFinished
+	if s.sink != nil {
+		s.sink.CTAEvent(s.ID, trace.CTAFinish, c.ID, now, 0)
+	}
 	s.activeCTAs--
 	s.shmemUsed -= s.meta.sharedMem
 	for i, r := range s.residents {
@@ -485,10 +530,16 @@ func (s *SM) Tick(now int64) (next int64, issued int) {
 					w.longBlocked = false
 					w.CTA.stalledWarps--
 				}
+				if s.sink != nil {
+					s.sink.WarpWake(s.ID, w.CTA.ID, w.Idx, now)
+				}
 			}
 			continue
 		}
 		if c := e.cta; c != nil && c.State.IsPending() && c.ReadyAt <= now {
+			if s.sink != nil {
+				s.sink.CTAEvent(s.ID, trace.CTAReady, c.ID, now, 0)
+			}
 			s.Pol.OnCTAReady(s, c, now)
 		}
 	}
@@ -560,12 +611,19 @@ func (s *SM) issueReady(w *Warp, now int64) bool {
 	// so a warp that then blocks on memory holds its shared-pool grant
 	// across the stall (the RegMutex contention the paper measures).
 	if !s.Pol.AllowIssue(s, w, now) {
+		if s.sink != nil {
+			s.sink.WarpDeny(s.ID, w.CTA.ID, w.Idx, now)
+		}
 		return false
 	}
 	in := s.meta.prog.At(w.PC)
 	dep := w.depReadyAt(in)
 	if dep > now {
-		s.block(w, dep, now)
+		reason := trace.ReasonScoreboard
+		if s.sink != nil {
+			reason = w.blockReason(in)
+		}
+		s.block(w, dep, now, reason)
 		return false
 	}
 	return true
@@ -573,19 +631,25 @@ func (s *SM) issueReady(w *Warp, now int64) bool {
 
 // block puts a warp to sleep until its dependency resolves and performs
 // CTA-stall detection.
-func (s *SM) block(w *Warp, until, now int64) {
+func (s *SM) block(w *Warp, until, now int64, reason trace.StallReason) {
 	w.wakeAt = until
 	if !w.asleep {
 		w.asleep = true
 		s.awake--
 	}
 	heap.Push(&s.events, event{at: until, warp: w})
+	if s.sink != nil {
+		s.sink.WarpBlock(s.ID, w.CTA.ID, w.Idx, now, until, reason)
+	}
 	if until-now >= s.Cfg.LongStall && !w.longBlocked {
 		w.longBlocked = true
 		c := w.CTA
 		c.stalledWarps++
 		if c.FullyStalled() {
 			s.Cnt.CTAStallEvents++
+			if s.sink != nil {
+				s.sink.CTAEvent(s.ID, trace.CTAFullStall, c.ID, now, 0)
+			}
 			if c.firstStallAt < 0 && c.firstIssueAt >= 0 {
 				c.firstStallAt = now
 				s.Cnt.StallLatencySum += float64(now - c.firstIssueAt)
@@ -608,6 +672,19 @@ func (s *SM) issue(w *Warp, now int64) {
 	s.Cnt.Instructions++
 	if c.firstIssueAt < 0 {
 		c.firstIssueAt = now
+	}
+	if s.sink != nil {
+		s.sink.WarpIssue(s.ID, c.ID, w.Idx, now, w.PC)
+		if in.Dst.Valid() {
+			// Remember what produces the destination so a later blocked
+			// consumer can be attributed (memory vs. scoreboard).
+			bit := uint64(1) << uint(in.Dst)
+			if isa.ClassOf(in.Op) == isa.ClassMemGlobal {
+				w.memWritten |= bit
+			} else {
+				w.memWritten &^= bit
+			}
+		}
 	}
 
 	// Register file event accounting (reads per source, one write).
@@ -644,6 +721,10 @@ func (s *SM) issue(w *Warp, now int64) {
 		if in.Dst.Valid() {
 			w.regReady[in.Dst] = res.ReadyAt
 		}
+		if s.sink != nil {
+			s.sink.MemAccess(s.ID, now, res.Transactions, res.L1Misses, res.L2Misses,
+				s.Hier.DRAM.QueueDelay(now))
+		}
 		w.PC++
 	case isa.ClassSync:
 		// CTA-wide barrier: the warp parks until every non-exited warp of
@@ -651,6 +732,9 @@ func (s *SM) issue(w *Warp, now int64) {
 		w.PC++
 		w.atBarrier = true
 		c.barWaiting++
+		if s.sink != nil {
+			s.sink.WarpBarrier(s.ID, c.ID, w.Idx, now)
+		}
 		if c.barWaiting+c.finishedWarps >= len(c.Warps) {
 			s.releaseBarrier(c, now)
 		} else {
@@ -692,6 +776,9 @@ func (s *SM) releaseBarrier(c *CTA, now int64) {
 			bw.asleep = false
 			s.awake++
 		}
+		if s.sink != nil {
+			s.sink.WarpBarrierRelease(s.ID, c.ID, bw.Idx, now)
+		}
 	}
 }
 
@@ -701,6 +788,9 @@ func (s *SM) exitWarp(w *Warp, now int64) {
 	w.exited = true
 	c := w.CTA
 	c.finishedWarps++
+	if s.sink != nil {
+		s.sink.WarpExit(s.ID, c.ID, w.Idx, now)
+	}
 	// A warp exiting may satisfy a barrier its siblings are parked at.
 	if c.barWaiting > 0 && c.barWaiting+c.finishedWarps >= len(c.Warps) {
 		s.releaseBarrier(c, now)

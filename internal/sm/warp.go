@@ -6,6 +6,7 @@ import (
 	"finereg/internal/isa"
 	"finereg/internal/kernels"
 	"finereg/internal/liveness"
+	"finereg/internal/trace"
 )
 
 // CTAState tracks where a resident CTA's execution context currently is.
@@ -137,6 +138,36 @@ type Warp struct {
 	// touched accumulates registers referenced in the current Figure 5
 	// instrumentation window.
 	touched liveness.BitVec
+
+	// memWritten is a bitmask over registers (MaxRegs = 64) marking those
+	// last written by a global memory load. Maintained only while a trace
+	// sink is attached; used to attribute scoreboard blocks to memory vs
+	// compute dependencies.
+	memWritten uint64
+}
+
+// blockReason classifies a scoreboard block at issue time: if the register
+// that gates the instruction (the one with the latest ready time) was last
+// written by a global load, the warp is memory-bound; otherwise it waits on
+// a compute dependency.
+func (w *Warp) blockReason(in *isa.Instr) trace.StallReason {
+	ready := int64(0)
+	gate := isa.RegNone
+	consider := func(r isa.Reg) {
+		if r.Valid() && w.regReady[r] > ready {
+			ready = w.regReady[r]
+			gate = r
+		}
+	}
+	for _, r := range in.Srcs[:in.NSrc] {
+		consider(r)
+	}
+	consider(in.Pred)
+	consider(in.Dst)
+	if gate.Valid() && w.memWritten&(1<<uint(gate)) != 0 {
+		return trace.ReasonMemory
+	}
+	return trace.ReasonScoreboard
 }
 
 // Exited reports whether the warp hit EXIT.

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonMetrics wraps Metrics with the derived ratios every consumer wants,
+// so machine-readable output carries them precomputed.
+type jsonMetrics struct {
+	*Metrics
+	IPC            float64
+	L1MissRate     float64
+	L2MissRate     float64
+	DRAMTotalBytes int64
+}
+
+func (m *Metrics) wrap() jsonMetrics {
+	return jsonMetrics{
+		Metrics:        m,
+		IPC:            m.IPC(),
+		L1MissRate:     m.L1MissRate(),
+		L2MissRate:     m.L2MissRate(),
+		DRAMTotalBytes: m.DRAMBytes(),
+	}
+}
+
+// WriteJSON writes the metrics (plus derived IPC/miss-rate/traffic fields,
+// and the stall breakdown when present) as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.wrap())
+}
+
+// WriteJSON writes a slice of runs as one indented JSON array.
+func WriteJSON(w io.Writer, ms []*Metrics) error {
+	out := make([]jsonMetrics, len(ms))
+	for i, m := range ms {
+		out[i] = m.wrap()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// csvHeader is the fixed column order of the CSV serialization. Stall
+// buckets are always present (zero when the run was not traced).
+var csvHeader = []string{
+	"benchmark", "config", "cycles", "instructions", "ipc",
+	"avg_resident_ctas", "avg_active_ctas", "avg_active_threads",
+	"ctas_launched", "cta_switches", "cta_stalls",
+	"reg_depletion_stall_cycles", "cycles_to_first_stall",
+	"l1_accesses", "l1_misses", "l2_accesses", "l2_misses",
+	"dram_demand_bytes", "dram_context_bytes", "dram_bitvec_bytes",
+	"rf_reads", "rf_writes", "pcrf_reads", "pcrf_writes", "shared_accesses",
+	"warp_slot_cycles", "issue_cycles", "idle_cycles", "scoreboard_cycles",
+	"memory_cycles", "transfer_cycles", "reg_depletion_cycles", "barrier_cycles",
+}
+
+func (m *Metrics) csvRecord() []string {
+	st := m.Stalls
+	if st == nil {
+		st = &StallBreakdown{}
+	}
+	f := func(v any) string {
+		if x, ok := v.(float64); ok {
+			return fmt.Sprintf("%.6g", x)
+		}
+		return fmt.Sprintf("%v", v)
+	}
+	return []string{
+		m.Benchmark, m.Config, f(m.Cycles), f(m.Instructions), f(m.IPC()),
+		f(m.AvgResidentCTAs), f(m.AvgActiveCTAs), f(m.AvgActiveThreads),
+		f(m.CTAsLaunched), f(m.CTASwitches), f(m.CTAStalls),
+		f(m.RegDepletionStallCycles), f(m.CyclesToFirstStall),
+		f(m.L1Accesses), f(m.L1Misses), f(m.L2Accesses), f(m.L2Misses),
+		f(m.DRAMDemandBytes), f(m.DRAMContextBytes), f(m.DRAMBitvecBytes),
+		f(m.RFReads), f(m.RFWrites), f(m.PCRFReads), f(m.PCRFWrites), f(m.SharedAccesses),
+		f(st.WarpSlotCycles), f(st.IssueCycles), f(st.IdleCycles), f(st.ScoreboardCycles),
+		f(st.MemoryCycles), f(st.TransferCycles), f(st.RegDepletionCycles), f(st.BarrierCycles),
+	}
+}
+
+// WriteCSV writes a header line plus one record.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	return WriteCSV(w, []*Metrics{m})
+}
+
+// WriteCSV writes a header line plus one record per run.
+func WriteCSV(w io.Writer, ms []*Metrics) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if err := cw.Write(m.csvRecord()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,96 @@
+package stats
+
+import "fmt"
+
+// StallBreakdown partitions every warp-slot cycle of a run into what the
+// warp was doing: issuing, ready-but-not-picked, or stalled for a specific
+// reason. A warp-slot cycle is one simulated cycle of one warp wired into
+// a scheduler (its CTA active, the warp not yet exited); cycles spent
+// parked in a pending CTA are deliberately excluded — they are the
+// residency the TLP metrics already measure.
+//
+// The buckets form an exact partition: Check verifies
+//
+//	Issue + Idle + Scoreboard + Memory + Transfer + RegDepletion + Barrier
+//	  == WarpSlotCycles
+//
+// which the trace.StallAggregator guarantees by construction and the
+// invariant tests enforce against independent counters.
+type StallBreakdown struct {
+	// WarpSlotCycles is the total warp-slot cycles of the run, accumulated
+	// from CTA activation/deactivation boundaries only (independent of the
+	// per-cycle buckets below).
+	WarpSlotCycles int64
+
+	// IssueCycles: cycles in which the warp issued an instruction.
+	IssueCycles int64
+	// IdleCycles: issue-ready but the scheduler picked another warp (or
+	// denied/blocked probing consumed the cycle).
+	IdleCycles int64
+	// ScoreboardCycles: blocked on a short-latency dependency (ALU, SFU,
+	// shared memory).
+	ScoreboardCycles int64
+	// MemoryCycles: blocked on a global-memory dependency.
+	MemoryCycles int64
+	// TransferCycles: waiting out CTA-switch register movement or pipeline
+	// drain.
+	TransferCycles int64
+	// RegDepletionCycles: issue denied for lack of register resources.
+	RegDepletionCycles int64
+	// BarrierCycles: parked at a CTA-wide barrier.
+	BarrierCycles int64
+}
+
+// Sum returns the total of all buckets (issue included).
+func (b *StallBreakdown) Sum() int64 {
+	return b.IssueCycles + b.IdleCycles + b.ScoreboardCycles + b.MemoryCycles +
+		b.TransferCycles + b.RegDepletionCycles + b.BarrierCycles
+}
+
+// Check verifies the partition invariant: the buckets must cover every
+// warp-slot cycle exactly once.
+func (b *StallBreakdown) Check() error {
+	if s := b.Sum(); s != b.WarpSlotCycles {
+		return fmt.Errorf("stats: stall buckets sum to %d, want %d warp-slot cycles (diff %+d)",
+			s, b.WarpSlotCycles, s-b.WarpSlotCycles)
+	}
+	return nil
+}
+
+// Buckets returns the (label, cycles) pairs in display order.
+func (b *StallBreakdown) Buckets() []struct {
+	Label  string
+	Cycles int64
+} {
+	return []struct {
+		Label  string
+		Cycles int64
+	}{
+		{"issue", b.IssueCycles},
+		{"idle", b.IdleCycles},
+		{"scoreboard", b.ScoreboardCycles},
+		{"memory", b.MemoryCycles},
+		{"transfer", b.TransferCycles},
+		{"reg-depletion", b.RegDepletionCycles},
+		{"barrier", b.BarrierCycles},
+	}
+}
+
+// Table renders the breakdown as an aligned two-column histogram with
+// percentages of total warp-slot cycles.
+func (b *StallBreakdown) Table() *Table {
+	t := &Table{Header: []string{"bucket", "cycles", "share"}}
+	total := b.WarpSlotCycles
+	for _, bk := range b.Buckets() {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(bk.Cycles) / float64(total)
+		}
+		t.AddRow(bk.Label, bk.Cycles, fmt.Sprintf("%5.1f%%", share))
+	}
+	t.AddRow("total", total, "100.0%")
+	return t
+}
+
+// String renders the breakdown table.
+func (b *StallBreakdown) String() string { return b.Table().String() }

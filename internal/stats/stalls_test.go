@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleBreakdown() *StallBreakdown {
+	return &StallBreakdown{
+		WarpSlotCycles:     100,
+		IssueCycles:        30,
+		IdleCycles:         10,
+		ScoreboardCycles:   5,
+		MemoryCycles:       40,
+		TransferCycles:     8,
+		RegDepletionCycles: 4,
+		BarrierCycles:      3,
+	}
+}
+
+func TestStallBreakdownCheck(t *testing.T) {
+	b := sampleBreakdown()
+	if b.Sum() != 100 {
+		t.Errorf("Sum = %d, want 100", b.Sum())
+	}
+	if err := b.Check(); err != nil {
+		t.Errorf("balanced breakdown fails Check: %v", err)
+	}
+	b.MemoryCycles++
+	if err := b.Check(); err == nil {
+		t.Error("unbalanced breakdown passes Check")
+	} else if !strings.Contains(err.Error(), "+1") {
+		t.Errorf("Check error does not report the diff: %v", err)
+	}
+}
+
+func TestStallBreakdownTable(t *testing.T) {
+	out := sampleBreakdown().String()
+	for _, want := range []string{"memory", "40.0%", "total", "100.0%", "reg-depletion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown table missing %q:\n%s", want, out)
+		}
+	}
+	// Zero totals must not divide by zero.
+	if out := new(StallBreakdown).String(); !strings.Contains(out, "0.0%") {
+		t.Errorf("zero breakdown renders oddly:\n%s", out)
+	}
+}
+
+func TestAddRowMismatchGuard(t *testing.T) {
+	tbl := &Table{Header: []string{"label", "a", "b"}}
+	tbl.AddRow("short")            // 1 value missing
+	tbl.AddRow("long", 1, 2, 3, 4) // 2 values extra
+	tbl.AddRow("exact", 5, 6)      // matches
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("padded cell missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2!") {
+		t.Errorf("truncation marker missing:\n%s", out)
+	}
+	// Headerless tables are unconstrained (used for free-form output).
+	free := &Table{}
+	free.AddRow("x", 1, 2, 3)
+	if !strings.Contains(free.String(), "3") {
+		t.Errorf("headerless row truncated:\n%s", free.String())
+	}
+}
+
+func sampleMetrics() *Metrics {
+	return &Metrics{
+		Benchmark: "CS", Config: "FineReg",
+		Cycles: 1000, Instructions: 5000,
+		L1Accesses: 100, L1Misses: 25,
+		L2Accesses: 25, L2Misses: 5,
+		DRAMDemandBytes: 4096, DRAMContextBytes: 1024, DRAMBitvecBytes: 12,
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	m := sampleMetrics()
+	m.Stalls = sampleBreakdown()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got["IPC"] != 5.0 {
+		t.Errorf("IPC = %v, want 5", got["IPC"])
+	}
+	if got["DRAMTotalBytes"] != float64(4096+1024+12) {
+		t.Errorf("DRAMTotalBytes = %v", got["DRAMTotalBytes"])
+	}
+	if _, ok := got["Stalls"]; !ok {
+		t.Error("Stalls missing from JSON")
+	}
+
+	// Untraced runs omit the Stalls key entirely.
+	buf.Reset()
+	if err := sampleMetrics().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if strings.Contains(buf.String(), `"Stalls"`) {
+		t.Error("nil Stalls serialized")
+	}
+
+	// Array form.
+	buf.Reset()
+	if err := WriteJSON(&buf, []*Metrics{sampleMetrics(), sampleMetrics()}); err != nil {
+		t.Fatalf("WriteJSON slice: %v", err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil || len(arr) != 2 {
+		t.Fatalf("JSON array: err=%v len=%d", err, len(arr))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	m := sampleMetrics()
+	m.Stalls = sampleBreakdown()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*Metrics{m, sampleMetrics()}); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 records", len(lines))
+	}
+	nCols := len(strings.Split(lines[0], ","))
+	for i, line := range lines {
+		if got := len(strings.Split(line, ",")); got != nCols {
+			t.Errorf("line %d has %d columns, want %d", i, got, nCols)
+		}
+	}
+	if !strings.Contains(lines[0], "warp_slot_cycles") {
+		t.Errorf("stall columns missing from header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "CS,FineReg,1000,5000,5,") {
+		t.Errorf("record malformed: %s", lines[1])
+	}
+	// The untraced record carries zero stall columns, not blanks.
+	if strings.Contains(lines[2], ",,") {
+		t.Errorf("untraced record has blank cells: %s", lines[2])
+	}
+}

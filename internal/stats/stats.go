@@ -52,6 +52,10 @@ type Metrics struct {
 
 	// SFU / shared-memory ops, for the energy model.
 	SharedAccesses int64
+
+	// Stalls is the per-reason warp-cycle attribution, populated only when
+	// the run was traced with a stall aggregator (see internal/trace).
+	Stalls *StallBreakdown `json:",omitempty"`
 }
 
 // IPC returns instructions per cycle (0 when no cycles elapsed).
@@ -124,13 +128,19 @@ func Speedup(newV, oldV float64) float64 {
 }
 
 // Table renders rows of (label, values...) with a header, aligned, for the
-// experiment CLIs. All rows must have len(header)-1 values.
+// experiment CLIs. All rows must have len(header)-1 values; AddRow guards
+// the contract by normalizing mismatched rows so they still render aligned
+// while making the mismatch visible.
 type Table struct {
 	Header []string
 	rows   [][]string
 }
 
 // AddRow appends a row; values are formatted with %v (floats with %.3f).
+// Rows whose value count disagrees with the header are normalized to the
+// header width: missing cells become "-", excess cells are dropped and the
+// last kept cell is suffixed with "!" so the mismatch is visible instead
+// of silently skewing every column to the right of it.
 func (t *Table) AddRow(label string, vals ...any) {
 	row := []string{label}
 	for _, v := range vals {
@@ -143,16 +153,31 @@ func (t *Table) AddRow(label string, vals ...any) {
 			row = append(row, fmt.Sprintf("%v", x))
 		}
 	}
+	if want := len(t.Header); want > 0 && len(row) != want {
+		for len(row) < want {
+			row = append(row, "-")
+		}
+		if len(row) > want {
+			row = row[:want]
+			row[want-1] += "!"
+		}
+	}
 	t.rows = append(t.rows, row)
 }
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	all := append([][]string{t.Header}, t.rows...)
-	widths := make([]int, len(t.Header))
+	nCols := 0
+	for _, row := range all {
+		if len(row) > nCols {
+			nCols = len(row)
+		}
+	}
+	widths := make([]int, nCols)
 	for _, row := range all {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full repo gate: gofmt, vet, build, race-enabled tests.
+# Equivalent to `make check` for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+go vet ./...
+go build ./...
+# -short: see the race target in the Makefile.
+go test -race -short -timeout 20m ./...
