@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-sweep
 
 # The full gate: formatting, vet, build, race-enabled tests.
 check: fmt vet build race
@@ -27,3 +27,7 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Parallel + cached speedup of the quick sweep -> BENCH_sweep.json.
+bench-sweep:
+	scripts/bench_sweep.sh

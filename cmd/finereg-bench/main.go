@@ -1,0 +1,119 @@
+// finereg-bench measures the run engine's parallel and cached speedup on
+// the quick sweep and writes the result as JSON (scripts/bench_sweep.sh
+// wraps it to produce BENCH_sweep.json).
+//
+// Usage:
+//
+//	finereg-bench [-jobs 4] [-benches CS,FD,LB,LI] [-out BENCH_sweep.json]
+//
+// Three timings of the same sweep: serial (1 worker, cold), parallel
+// (-jobs workers, cold), and cached (any workers, warm cache). The
+// rendered tables of the serial and parallel runs are byte-compared — the
+// engine's determinism guarantee — and the comparison result is recorded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"finereg/internal/experiments"
+	"finereg/internal/runner"
+)
+
+type report struct {
+	Date       string   `json:"date"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Jobs       int      `json:"jobs"`
+	Benches    []string `json:"benches"`
+
+	JobsPerSweep int `json:"jobs_per_sweep"`
+
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	CachedSeconds   float64 `json:"cached_seconds"`
+
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	CacheSpeedup    float64 `json:"cache_speedup"`
+
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+func main() {
+	var (
+		jobs    = flag.Int("jobs", 4, "worker count for the parallel run")
+		benches = flag.String("benches", "CS,FD,LB,LI", "benchmark subset for the sweep")
+		out     = flag.String("out", "BENCH_sweep.json", "output JSON path ('-' = stdout)")
+	)
+	flag.Parse()
+
+	opts := experiments.Quick()
+	opts.Benchmarks = strings.Split(*benches, ",")
+
+	sweep := func(eng *runner.Engine) (string, float64) {
+		opts.Runner = eng
+		start := time.Now()
+		s, err := experiments.RunSweep(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "finereg-bench:", err)
+			os.Exit(1)
+		}
+		secs := time.Since(start).Seconds()
+		return experiments.Figure13(s).Render(), secs
+	}
+
+	r := report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       *jobs,
+		Benches:    opts.Benchmarks,
+	}
+
+	serialTbl, serialSecs := sweep(&runner.Engine{Jobs: 1})
+	parTbl, parSecs := sweep(&runner.Engine{Jobs: *jobs})
+
+	warm := &runner.Engine{Jobs: *jobs, Cache: runner.NewCache("")}
+	if _, prime := sweep(warm); prime <= 0 {
+		fmt.Fprintln(os.Stderr, "finereg-bench: implausible priming time")
+		os.Exit(1)
+	}
+	_, cachedSecs := sweep(warm)
+	r.JobsPerSweep = int(warm.Stats().Submitted) / 2
+
+	r.SerialSeconds = serialSecs
+	r.ParallelSeconds = parSecs
+	r.CachedSeconds = cachedSecs
+	r.ParallelSpeedup = serialSecs / parSecs
+	r.CacheSpeedup = serialSecs / cachedSecs
+	r.ByteIdentical = serialTbl == parTbl
+	if !r.ByteIdentical {
+		fmt.Fprintln(os.Stderr, "finereg-bench: WARNING: serial and parallel tables differ")
+	}
+
+	b, err := json.MarshalIndent(r, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finereg-bench:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "finereg-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "finereg-bench: %d jobs/sweep on %d CPUs: serial %.1fs, parallel(%d) %.1fs (%.2fx), cached %.3fs (%.0fx) -> %s\n",
+		r.JobsPerSweep, r.NumCPU, serialSecs, *jobs, parSecs, r.ParallelSpeedup, cachedSecs, r.CacheSpeedup, *out)
+}

@@ -4,9 +4,21 @@
 //
 //	finereg-experiments [-only t2,f2,f3,f4,f5,t3,f12,f13,f14,f15,f16,f17,f18,f19,abl,stalls]
 //	                    [-sms 16] [-grid-scale 1.0] [-quick]
+//	                    [-jobs N] [-cache-dir .finereg-cache] [-no-cache]
+//	                    [-job-timeout 0]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured record.
+//
+// All simulations run through one shared run engine (internal/runner): a
+// worker pool (-jobs, default GOMAXPROCS) with a content-addressed result
+// cache (-cache-dir, default .finereg-cache). The cache dedups repeated
+// points both within a run (the Figure 12/13/16 sweep points, the stall
+// probes that coincide with sweep candidates) and across invocations; a
+// rerun of an already-computed figure is nearly free. -no-cache keeps
+// results in memory only — points still dedup within the invocation, but
+// nothing is read from or written to disk. Progress and a final scheduling
+// summary go to stderr; the tables stay on stdout.
 package main
 
 import (
@@ -17,14 +29,27 @@ import (
 	"time"
 
 	"finereg/internal/experiments"
+	"finereg/internal/runner"
+	"finereg/internal/trace"
 )
+
+// experimentIDs lists the valid -only ids in presentation order.
+var experimentIDs = []string{
+	"t2", "f2", "f3", "f4", "f5", "t3",
+	"f12", "f13", "f14", "f15", "f16", "f17", "f18", "f19",
+	"abl", "stalls",
+}
 
 func main() {
 	var (
-		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		sms       = flag.Int("sms", 16, "number of SMs")
-		gridScale = flag.Float64("grid-scale", 1.0, "workload grid scale")
-		quick     = flag.Bool("quick", false, "use the 4-SM quick configuration")
+		only       = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		sms        = flag.Int("sms", 16, "number of SMs")
+		gridScale  = flag.Float64("grid-scale", 1.0, "workload grid scale")
+		quick      = flag.Bool("quick", false, "use the 4-SM quick configuration")
+		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", ".finereg-cache", "on-disk result cache directory ('' = memory only)")
+		noCache    = flag.Bool("no-cache", false, "keep results in memory only (no disk reads or writes)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	)
 	flag.Parse()
 
@@ -33,23 +58,40 @@ func main() {
 		opts = experiments.Quick()
 	}
 
+	valid := map[string]bool{}
+	for _, id := range experimentIDs {
+		valid[id] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToLower(id))] = true
+			id = strings.TrimSpace(strings.ToLower(id))
+			if !valid[id] {
+				fmt.Fprintf(os.Stderr, "finereg-experiments: unknown experiment id %q (valid: %s)\n",
+					id, strings.Join(experimentIDs, ","))
+				os.Exit(2)
+			}
+			want[id] = true
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
 
-	var sweep *experiments.Sweep
-	getSweep := func() *experiments.Sweep {
-		if sweep == nil {
-			var err error
-			sweep, err = experiments.RunSweep(opts)
-			check(err)
-		}
-		return sweep
+	// One engine for the whole invocation: every figure shares the worker
+	// pool, the cache, and the progress line, so points repeated across
+	// figures — the sweep feeding Figures 12/13/16, the stall probes that
+	// coincide with sweep candidates — simulate at most once.
+	dir := *cacheDir
+	if *noCache {
+		dir = ""
 	}
+	progress := trace.NewProgress(os.Stderr)
+	eng := &runner.Engine{
+		Jobs:    *jobs,
+		Cache:   runner.NewCache(dir),
+		Timeout: *jobTimeout,
+		Events:  progress,
+	}
+	opts.Runner = eng
 
 	run := func(id, title string, f func() (interface{ Render() string }, error)) {
 		if !selected(id) {
@@ -57,6 +99,7 @@ func main() {
 		}
 		start := time.Now()
 		r, err := f()
+		progress.Close()
 		check(err)
 		fmt.Printf("==== %s (%s) ====\n%s\n", id, title, r.Render())
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
@@ -80,11 +123,23 @@ func main() {
 	run("t3", "Table III: cycles to full stall", func() (interface{ Render() string }, error) {
 		return experiments.TableIII(opts)
 	})
+	// The sweep figures each re-request the full sweep; the engine's cache
+	// collapses the repeats, so the simulations behind Figures 12/13/16 run
+	// once no matter how many of the three are selected (the old lazy
+	// singleton, without the cross-invocation reuse).
 	run("f12", "Figure 12: concurrent CTAs", func() (interface{ Render() string }, error) {
-		return experiments.Figure12(getSweep()), nil
+		s, err := experiments.RunSweep(opts)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Figure12(s), nil
 	})
 	run("f13", "Figure 13: normalized IPC", func() (interface{ Render() string }, error) {
-		return experiments.Figure13(getSweep()), nil
+		s, err := experiments.RunSweep(opts)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Figure13(s), nil
 	})
 	run("f14", "Figure 14: SRP ratio and depletion stalls", func() (interface{ Render() string }, error) {
 		return experiments.Figure14(opts)
@@ -93,7 +148,11 @@ func main() {
 		return experiments.Figure15(opts)
 	})
 	run("f16", "Figure 16: energy", func() (interface{ Render() string }, error) {
-		return experiments.Figure16(getSweep()), nil
+		s, err := experiments.RunSweep(opts)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Figure16(s), nil
 	})
 	run("f17", "Figure 17: ACRF/PCRF split sensitivity", func() (interface{ Render() string }, error) {
 		return experiments.Figure17(opts)
@@ -114,6 +173,11 @@ func main() {
 	run("stalls", "Stall attribution: warp-slot cycle breakdown", func() (interface{ Render() string }, error) {
 		return experiments.StallBreakdowns(opts, nil)
 	})
+
+	progress.Close()
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "engine: %d submitted, %d simulated, %d cache hits (%d disk), %d deduped in flight (cache: %s)\n",
+		st.Submitted, st.Executed, st.CacheHits, st.DiskHits, st.Deduped, eng.Cache.Stats())
 }
 
 func check(err error) {

@@ -7,12 +7,21 @@
 //	finereg-sim [-bench CS,LB | all] [-policy baseline,vt,regdram,regmutex,finereg | all]
 //	            [-sms 16] [-grid-scale 1.0] [-srp 0.25] [-dram-cap 4] [-v]
 //	            [-json | -csv] [-stalls]
+//	            [-jobs N] [-cache-dir ''] [-no-cache] [-job-timeout 0]
 //
 // -json and -csv replace the table with machine-readable output on stdout
 // (one record per benchmark × policy run, derived ratios included).
 // -stalls attaches the stall-attribution tracer to every run so the
 // records carry the warp-slot cycle breakdown (small simulation slowdown,
 // no timing change).
+//
+// Runs are scheduled through the run engine (internal/runner): -jobs sets
+// the worker count (default GOMAXPROCS), -cache-dir enables the on-disk
+// result cache (off by default for this low-level driver — pass a
+// directory, e.g. .finereg-cache, to share results with finereg-experiments).
+// Rows always print in bench × policy order regardless of worker count. A
+// failing run no longer aborts the whole sweep: completed rows print, the
+// failures are reported on stderr, and the exit status is non-zero.
 package main
 
 import (
@@ -23,8 +32,8 @@ import (
 
 	"finereg/internal/gpu"
 	"finereg/internal/kernels"
+	"finereg/internal/runner"
 	"finereg/internal/stats"
-	"finereg/internal/trace"
 )
 
 func main() {
@@ -39,6 +48,10 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit metrics as a JSON array instead of the table")
 		csvOut     = flag.Bool("csv", false, "emit metrics as CSV instead of the table")
 		stalls     = flag.Bool("stalls", false, "trace each run and attach the stall-cycle breakdown")
+		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory ('' = no disk cache)")
+		noCache    = flag.Bool("no-cache", false, "disable the on-disk cache even if -cache-dir is set")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	)
 	flag.Parse()
 
@@ -56,8 +69,17 @@ func main() {
 	}
 	policies := policySet(*policyFlag, *srp, *dramCap)
 
-	tbl := &stats.Table{Header: []string{"bench/policy", "IPC", "cycles", "resident", "active", "switches", "dramKB"}}
-	var runs []*stats.Metrics
+	dir := *cacheDir
+	if *noCache {
+		dir = ""
+	}
+	eng := &runner.Engine{
+		Jobs:    *jobs,
+		Cache:   runner.NewCache(dir),
+		Timeout: *jobTimeout,
+	}
+
+	var jobList []*runner.Job
 	for _, b := range benches {
 		p, err := kernels.ProfileByName(strings.TrimSpace(b))
 		if err != nil {
@@ -65,34 +87,33 @@ func main() {
 			os.Exit(1)
 		}
 		for _, pol := range policies {
-			k := kernels.MustBuild(p, int(float64(p.GridCTAs)*scale+0.5))
-			g := gpu.New(cfg, pol.factory)
-			var agg *trace.StallAggregator
-			if *stalls {
-				agg = trace.NewStallAggregator()
-				g.SetTrace(agg)
-			}
-			m, err := g.Run(k)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s/%s: %v\n", b, pol.name, err)
-				os.Exit(1)
-			}
-			if agg != nil {
-				bd := agg.Breakdown()
-				if err := bd.Check(); err != nil {
-					fmt.Fprintf(os.Stderr, "%s/%s: stall accounting: %v\n", b, pol.name, err)
-					os.Exit(1)
-				}
-				m.Stalls = bd
-			}
-			runs = append(runs, m)
-			tbl.AddRow(fmt.Sprintf("%s/%s", p.Abbrev, pol.name),
-				m.IPC(), m.Cycles, m.AvgResidentCTAs, m.AvgActiveCTAs, m.CTASwitches, m.DRAMBytes()>>10)
-			if *verbose {
-				fmt.Printf("# %s/%s: L1 %.1f%% miss, L2 %.1f%% miss, depletion %d cyc, first-stall %.0f cyc, ctx %d KB\n",
-					p.Abbrev, pol.name, 100*m.L1MissRate(), 100*m.L2MissRate(),
-					m.RegDepletionStallCycles, m.CyclesToFirstStall, m.DRAMContextBytes>>10)
-			}
+			jobList = append(jobList, &runner.Job{
+				Cfg:     cfg,
+				Profile: p,
+				Grid:    int(float64(p.GridCTAs)*scale + 0.5),
+				Policy:  pol.spec,
+				Stalls:  *stalls,
+				Label:   p.Abbrev + "/" + pol.name,
+			})
+		}
+	}
+
+	batch := eng.Run(jobList)
+
+	tbl := &stats.Table{Header: []string{"bench/policy", "IPC", "cycles", "resident", "active", "switches", "dramKB"}}
+	var runs []*stats.Metrics
+	for i, j := range jobList {
+		if batch.Errs[i] != nil {
+			continue
+		}
+		m := batch.Results[i].Metrics
+		runs = append(runs, m)
+		tbl.AddRow(j.Label,
+			m.IPC(), m.Cycles, m.AvgResidentCTAs, m.AvgActiveCTAs, m.CTASwitches, m.DRAMBytes()>>10)
+		if *verbose {
+			fmt.Printf("# %s: L1 %.1f%% miss, L2 %.1f%% miss, depletion %d cyc, first-stall %.0f cyc, ctx %d KB\n",
+				j.Label, 100*m.L1MissRate(), 100*m.L2MissRate(),
+				m.RegDepletionStallCycles, m.CyclesToFirstStall, m.DRAMContextBytes>>10)
 		}
 	}
 	switch {
@@ -109,20 +130,30 @@ func main() {
 	default:
 		fmt.Print(tbl)
 	}
+
+	// Partial-sweep reporting: every run that completed has been printed;
+	// failures are listed individually and reflected in the exit status.
+	if failed := batch.Failed(); len(failed) > 0 {
+		for _, i := range failed {
+			fmt.Fprintf(os.Stderr, "finereg-sim: %v\n", batch.Errs[i])
+		}
+		fmt.Fprintf(os.Stderr, "finereg-sim: %d/%d runs failed\n", len(failed), len(jobList))
+		os.Exit(1)
+	}
 }
 
 type namedPolicy struct {
-	name    string
-	factory gpu.PolicyFactory
+	name string
+	spec runner.PolicySpec
 }
 
 func policySet(spec string, srp float64, dramCap int) []namedPolicy {
 	all := []namedPolicy{
-		{"baseline", gpu.Baseline()},
-		{"vt", gpu.VirtualThread()},
-		{"regdram", gpu.RegDRAM(dramCap)},
-		{"regmutex", gpu.VTRegMutex(srp)},
-		{"finereg", gpu.FineRegDefault()},
+		{"baseline", runner.Baseline()},
+		{"vt", runner.VirtualThread()},
+		{"regdram", runner.RegDRAM(dramCap)},
+		{"regmutex", runner.VTRegMutex(srp)},
+		{"finereg", runner.FineRegDefault()},
 	}
 	if spec == "all" {
 		return all

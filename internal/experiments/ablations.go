@@ -6,6 +6,7 @@ import (
 	"finereg/internal/core"
 	"finereg/internal/gpu"
 	"finereg/internal/mem"
+	"finereg/internal/runner"
 	"finereg/internal/sm"
 	"finereg/internal/stats"
 )
@@ -28,37 +29,43 @@ func Ablations(opts Options) (*AblationsResult, error) {
 	opts.Benchmarks = AblationBenches
 	variants := []struct {
 		label string
-		pf    gpu.PolicyFactory
+		pol   runner.PolicySpec
 		sched sm.SchedKind
 	}{
-		{"FineReg (full design)", gpu.FineRegDefault(), sm.SchedGTO},
+		{"FineReg (full design)", runner.FineRegDefault(), sm.SchedGTO},
 		{"no live compaction (full register sets in PCRF)",
-			gpu.FineRegFull(128<<10, 128<<10), sm.SchedGTO},
+			runner.FineRegFull(128<<10, 128<<10), sm.SchedGTO},
 		{"cold bit-vector cache (RMU cache disabled)",
-			coldBitvecFactory(), sm.SchedGTO},
+			runner.Custom("finereg/cold-bitvec", coldBitvecFactory()), sm.SchedGTO},
 		{"loose round-robin scheduling (GTO off)",
-			gpu.FineRegDefault(), sm.SchedLRR},
+			runner.FineRegDefault(), sm.SchedLRR},
 	}
-	res := &AblationsResult{}
-	perVariant := make([][]float64, len(variants))
+	set := opts.newSet()
+	var refs [][]ref // [bench][variant]
 	for _, name := range opts.benchNames() {
 		prof, err := opts.profile(name)
 		if err != nil {
 			return nil, err
 		}
 		grid := opts.grid(&prof)
-		var fullIPC float64
+		row := make([]ref, len(variants))
 		for i, v := range variants {
 			cfg := opts.config()
 			cfg.SM.Scheduler = v.sched
-			r, err := runOne(cfg, prof, grid, v.pf, false)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				fullIPC = r.Metrics.IPC()
-			}
-			perVariant[i] = append(perVariant[i], stats.Speedup(r.Metrics.IPC(), fullIPC))
+			row[i] = set.add(cfg, prof, grid, v.pol, false)
+		}
+		refs = append(refs, row)
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationsResult{}
+	perVariant := make([][]float64, len(variants))
+	for _, row := range refs {
+		fullIPC := runs[row[0]].Metrics.IPC()
+		for i := range variants {
+			perVariant[i] = append(perVariant[i], stats.Speedup(runs[row[i]].Metrics.IPC(), fullIPC))
 		}
 	}
 	for i, v := range variants {

@@ -5,8 +5,8 @@ import (
 	"sort"
 	"strings"
 
-	"finereg/internal/gpu"
 	"finereg/internal/kernels"
+	"finereg/internal/runner"
 	"finereg/internal/stats"
 )
 
@@ -87,17 +87,22 @@ func Figure2(opts Options) (*Figure2Result, error) {
 	variants := []variant{{1.5, 1}, {2, 1}, {1, 1.5}, {1, 2}, {1.5, 1.5}, {2, 2}}
 	res := &Figure2Result{}
 	var sVals, rVals [6][]float64
+	set := opts.newSet()
+	type row struct {
+		bench    string
+		class    kernels.Type
+		baseRef  ref
+		variants [6]ref
+	}
+	var rows []row
 	for _, name := range opts.benchNames() {
 		prof, err := opts.profile(name)
 		if err != nil {
 			return nil, err
 		}
 		grid := opts.grid(&prof)
-		base, err := runOne(opts.config(), prof, grid, gpu.Baseline(), false)
-		if err != nil {
-			return nil, err
-		}
-		row := Figure2Row{Bench: name, Class: prof.Class}
+		r := row{bench: name, class: prof.Class}
+		r.baseRef = set.add(opts.config(), prof, grid, runner.Baseline(), false)
 		for i, v := range variants {
 			cfg := opts.config()
 			cfg.SM.MaxCTAs = int(float64(cfg.SM.MaxCTAs) * v.sched)
@@ -105,18 +110,26 @@ func Figure2(opts Options) (*Figure2Result, error) {
 			cfg.SM.MaxThreads = int(float64(cfg.SM.MaxThreads) * v.sched)
 			cfg.SM.RegFileBytes = int(float64(cfg.SM.RegFileBytes) * v.memv)
 			cfg.SM.SharedMemBytes = int(float64(cfg.SM.SharedMemBytes) * v.memv)
-			r, err := runOne(cfg, prof, grid, gpu.Baseline(), false)
-			if err != nil {
-				return nil, err
-			}
-			row.Speedup[i] = stats.Speedup(r.Metrics.IPC(), base.Metrics.IPC())
-			if prof.Class == kernels.TypeS {
-				sVals[i] = append(sVals[i], row.Speedup[i])
+			r.variants[i] = set.add(cfg, prof, grid, runner.Baseline(), false)
+		}
+		rows = append(rows, r)
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		base := runs[r.baseRef]
+		out := Figure2Row{Bench: r.bench, Class: r.class}
+		for i := range variants {
+			out.Speedup[i] = stats.Speedup(runs[r.variants[i]].Metrics.IPC(), base.Metrics.IPC())
+			if r.class == kernels.TypeS {
+				sVals[i] = append(sVals[i], out.Speedup[i])
 			} else {
-				rVals[i] = append(rVals[i], row.Speedup[i])
+				rVals[i] = append(rVals[i], out.Speedup[i])
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, out)
 	}
 	for i := range variants {
 		res.TypeSMean[i] = stats.Geomean(sVals[i])
@@ -210,15 +223,10 @@ func Figure4(opts Options) (*Figure4Result, error) {
 	grid := opts.grid(&prof)
 	res := &Figure4Result{Labels: []string{"Baseline", "Full RF", "Full RF+DRAM", "Ideal"}}
 
-	base, err := runOne(opts.config(), prof, grid, gpu.Baseline(), false)
-	if err != nil {
-		return nil, err
-	}
-	fullRF, err := runOne(opts.config(), prof, grid, gpu.VirtualThread(), false)
-	if err != nil {
-		return nil, err
-	}
-	fullDRAM, err := runConfig(opts.config(), prof, grid, CfgRegDRAM)
+	set := opts.newSet()
+	baseRef := set.add(opts.config(), prof, grid, runner.Baseline(), false)
+	fullRFRef := set.add(opts.config(), prof, grid, runner.VirtualThread(), false)
+	dramPick, err := set.addConfig(opts.config(), prof, grid, CfgRegDRAM)
 	if err != nil {
 		return nil, err
 	}
@@ -228,11 +236,14 @@ func Figure4(opts Options) (*Figure4Result, error) {
 	ideal.SM.MaxThreads *= 8
 	ideal.SM.RegFileBytes *= 8
 	ideal.SM.SharedMemBytes *= 8
-	idealRun, err := runOne(ideal, prof, grid, gpu.Baseline(), false)
+	idealRef := set.add(ideal, prof, grid, runner.Baseline(), false)
+
+	runs, err := set.run()
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range []*Run{base, fullRF, fullDRAM, idealRun} {
+	base := runs[baseRef]
+	for _, r := range []*Run{base, runs[fullRFRef], dramPick.best(runs), runs[idealRef]} {
 		res.NormPerf = append(res.NormPerf, stats.Speedup(r.Metrics.IPC(), base.Metrics.IPC()))
 		res.ActiveThreads = append(res.ActiveThreads, r.Metrics.AvgActiveThreads)
 	}
@@ -270,15 +281,22 @@ type Figure5Result struct {
 func Figure5(opts Options) (*Figure5Result, error) {
 	res := &Figure5Result{}
 	var all []float64
+	set := opts.newSet()
+	var benches []string
 	for _, name := range opts.benchNames() {
 		prof, err := opts.profile(name)
 		if err != nil {
 			return nil, err
 		}
-		r, err := runOne(opts.config(), prof, opts.grid(&prof), gpu.Baseline(), true)
-		if err != nil {
-			return nil, err
-		}
+		set.add(opts.config(), prof, opts.grid(&prof), runner.Baseline(), true)
+		benches = append(benches, name)
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range benches {
+		r := runs[i]
 		row := Figure5Row{Bench: name, Min: 1, WindowsObserved: len(r.Windows)}
 		for _, f := range r.Windows {
 			if f < row.Min {
@@ -322,16 +340,22 @@ type TableIIIResult struct {
 // TableIII measures CTA time-to-full-stall on the baseline.
 func TableIII(opts Options) (*TableIIIResult, error) {
 	res := &TableIIIResult{Cycles: map[string]float64{}}
+	set := opts.newSet()
+	var benches []string
 	for _, name := range opts.benchNames() {
 		prof, err := opts.profile(name)
 		if err != nil {
 			return nil, err
 		}
-		r, err := runOne(opts.config(), prof, opts.grid(&prof), gpu.Baseline(), false)
-		if err != nil {
-			return nil, err
-		}
-		res.Cycles[name] = r.Metrics.CyclesToFirstStall
+		set.add(opts.config(), prof, opts.grid(&prof), runner.Baseline(), false)
+		benches = append(benches, name)
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range benches {
+		res.Cycles[name] = runs[i].Metrics.CyclesToFirstStall
 	}
 	return res, nil
 }

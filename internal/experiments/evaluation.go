@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"finereg/internal/gpu"
 	"finereg/internal/kernels"
+	"finereg/internal/runner"
 	"finereg/internal/stats"
 )
 
@@ -17,9 +17,17 @@ type Sweep struct {
 	Runs    map[string]map[ConfigName]*Run
 }
 
-// RunSweep executes every benchmark under every standard configuration.
+// RunSweep executes every benchmark under every standard configuration
+// (tuning candidates included) as one job batch.
 func RunSweep(opts Options) (*Sweep, error) {
 	s := &Sweep{Configs: StandardConfigs(), Runs: map[string]map[ConfigName]*Run{}}
+	set := opts.newSet()
+	type cell struct {
+		bench string
+		cn    ConfigName
+		p     pick
+	}
+	var cells []cell
 	for _, name := range opts.benchNames() {
 		prof, err := opts.profile(name)
 		if err != nil {
@@ -29,12 +37,19 @@ func RunSweep(opts Options) (*Sweep, error) {
 		s.Order = append(s.Order, name)
 		s.Runs[name] = map[ConfigName]*Run{}
 		for _, cn := range s.Configs {
-			r, err := runConfig(opts.config(), prof, grid, cn)
+			p, err := set.addConfig(opts.config(), prof, grid, cn)
 			if err != nil {
 				return nil, err
 			}
-			s.Runs[name][cn] = r
+			cells = append(cells, cell{name, cn, p})
 		}
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		s.Runs[c.bench][c.cn] = c.p.best(runs)
 	}
 	return s, nil
 }
@@ -166,37 +181,52 @@ var MemIntensive = []string{"KM", "SY2", "BF"}
 func Figure14(opts Options) (*Figure14Result, error) {
 	res := &Figure14Result{BestSRP: map[string]float64{}, StallFrac: map[string][2]float64{}}
 	fracs := []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.35}
-	var sum, memSum float64
 	memIntensive := map[string]bool{}
 	for _, b := range MemIntensive {
 		memIntensive[b] = true
 	}
+	set := opts.newSet()
+	type row struct {
+		bench    string
+		srpRefs  []ref
+		fineRef  ref
+		memHeavy bool
+	}
+	var rows []row
 	for _, name := range opts.benchNames() {
 		prof, err := opts.profile(name)
 		if err != nil {
 			return nil, err
 		}
 		grid := opts.grid(&prof)
+		r := row{bench: name, memHeavy: memIntensive[name]}
+		for _, f := range fracs {
+			r.srpRefs = append(r.srpRefs, set.add(opts.config(), prof, grid, runner.VTRegMutex(f), false))
+		}
+		if r.memHeavy {
+			r.fineRef = set.add(opts.config(), prof, grid, runner.FineRegDefault(), false)
+		}
+		rows = append(rows, r)
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	var sum, memSum float64
+	for _, r := range rows {
 		bestIPC, bestFrac := -1.0, fracs[0]
 		var bestRun *Run
-		for _, f := range fracs {
-			r, err := runOne(opts.config(), prof, grid, gpu.VTRegMutex(f), false)
-			if err != nil {
-				return nil, err
-			}
-			if r.Metrics.IPC() > bestIPC {
-				bestIPC, bestFrac, bestRun = r.Metrics.IPC(), f, r
+		for i, ref := range r.srpRefs {
+			if ipc := runs[ref].Metrics.IPC(); ipc > bestIPC {
+				bestIPC, bestFrac, bestRun = ipc, fracs[i], runs[ref]
 			}
 		}
-		res.BestSRP[name] = bestFrac
+		res.BestSRP[r.bench] = bestFrac
 		sum += bestFrac
-		if memIntensive[name] {
+		if r.memHeavy {
 			memSum += bestFrac
-			fr, err := runOne(opts.config(), prof, grid, gpu.FineRegDefault(), false)
-			if err != nil {
-				return nil, err
-			}
-			res.StallFrac[name] = [2]float64{
+			fr := runs[r.fineRef]
+			res.StallFrac[r.bench] = [2]float64{
 				float64(bestRun.Metrics.RegDepletionStallCycles) / float64(bestRun.Metrics.Cycles),
 				float64(fr.Metrics.RegDepletionStallCycles) / float64(fr.Metrics.Cycles),
 			}
@@ -247,6 +277,13 @@ func Figure15(opts Options) (*Figure15Result, error) {
 		Traffic:      map[string]map[ConfigName]float64{},
 		ContextBytes: map[string]map[ConfigName]int64{},
 	}
+	set := opts.newSet()
+	type cell struct {
+		bench string
+		cn    ConfigName
+		p     pick
+	}
+	var cells []cell
 	for _, name := range Figure15Benches {
 		prof, err := opts.profile(name)
 		if err != nil {
@@ -255,23 +292,32 @@ func Figure15(opts Options) (*Figure15Result, error) {
 		grid := opts.grid(&prof)
 		res.Traffic[name] = map[ConfigName]float64{}
 		res.ContextBytes[name] = map[ConfigName]int64{}
-		var baseBytes int64
 		for _, cn := range StandardConfigs() {
-			var r *Run
+			var p pick
 			if cn == CfgRegDRAM {
-				r, err = runOne(opts.config(), prof, grid, gpu.RegDRAM(4), false)
+				p = pick{cn: cn, refs: []ref{set.add(opts.config(), prof, grid, runner.RegDRAM(4), false)}}
 			} else {
-				r, err = runConfig(opts.config(), prof, grid, cn)
+				var err error
+				p, err = set.addConfig(opts.config(), prof, grid, cn)
+				if err != nil {
+					return nil, err
+				}
 			}
-			if err != nil {
-				return nil, err
-			}
-			if cn == CfgBaseline {
-				baseBytes = r.Metrics.DRAMBytes()
-			}
-			res.Traffic[name][cn] = float64(r.Metrics.DRAMBytes()) / float64(baseBytes)
-			res.ContextBytes[name][cn] = r.Metrics.DRAMContextBytes
+			cells = append(cells, cell{name, cn, p})
 		}
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	baseBytes := map[string]int64{}
+	for _, c := range cells {
+		r := c.p.best(runs)
+		if c.cn == CfgBaseline {
+			baseBytes[c.bench] = r.Metrics.DRAMBytes()
+		}
+		res.Traffic[c.bench][c.cn] = float64(r.Metrics.DRAMBytes()) / float64(baseBytes[c.bench])
+		res.ContextBytes[c.bench][c.cn] = r.Metrics.DRAMContextBytes
 	}
 	return res, nil
 }

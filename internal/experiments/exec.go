@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finereg/internal/energy"
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/runner"
+)
+
+// This file is the experiments layer's bridge to the run engine
+// (internal/runner): every Figure*/Table* function declares its
+// simulations as a jobSet, submits the whole set as one batch, and then
+// assembles its tables from the results. The engine parallelizes and
+// dedups; declaration order is preserved, so tables render byte-identically
+// at any worker count.
+
+// engine returns the configured run engine, or a fresh default (GOMAXPROCS
+// workers, no cache) when none was set. A fresh engine still collapses
+// duplicate points within one batch via in-flight tracking.
+func (o Options) engine() *runner.Engine {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return &runner.Engine{}
+}
+
+// ref indexes one submitted job within its jobSet's result slice.
+type ref int
+
+// jobSet accumulates jobs for one experiment and runs them as one batch.
+type jobSet struct {
+	o    Options
+	jobs []*runner.Job
+}
+
+func (o Options) newSet() *jobSet { return &jobSet{o: o} }
+
+// add submits one simulation point and returns its result slot.
+func (s *jobSet) add(cfg gpu.Config, prof kernels.Profile, grid int, pol runner.PolicySpec, trackReg bool) ref {
+	s.jobs = append(s.jobs, &runner.Job{
+		Cfg: cfg, Profile: prof, Grid: grid, Policy: pol, TrackReg: trackReg,
+	})
+	return ref(len(s.jobs) - 1)
+}
+
+// addTraced submits a stall-attributed simulation point.
+func (s *jobSet) addTraced(cfg gpu.Config, prof kernels.Profile, grid int, pol runner.PolicySpec) ref {
+	s.jobs = append(s.jobs, &runner.Job{
+		Cfg: cfg, Profile: prof, Grid: grid, Policy: pol, Stalls: true,
+	})
+	return ref(len(s.jobs) - 1)
+}
+
+// run executes the set and converts results to Runs (attaching the energy
+// estimate, a pure function of metrics and machine size). A batch with
+// failures aborts with the aggregated error — matching the historical
+// fail-fast behaviour of the serial harness — but everything that could
+// run has run, so a retry after a fix hits the cache for the survivors.
+func (s *jobSet) run() ([]*Run, error) {
+	b := s.o.engine().Run(s.jobs)
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	runs := make([]*Run, len(b.Results))
+	for i, res := range b.Results {
+		runs[i] = &Run{
+			Metrics: res.Metrics,
+			Energy:  energy.Estimate(res.Metrics, s.jobs[i].Cfg.NumSMs, energy.DefaultCoefficients()),
+			Windows: res.Windows,
+		}
+	}
+	return runs, nil
+}
+
+// pick is a deferred best-of selection over tuning candidates of one
+// configuration (the paper's per-application tuning of Reg+DRAM and
+// VT+RegMutex). For single-candidate configurations it is a plain lookup.
+type pick struct {
+	cn   ConfigName
+	refs []ref
+}
+
+// addConfig submits the job(s) for configuration cn: one job for
+// Baseline/VT/FineReg, the paper's tuning candidates for Reg+DRAM (pending
+// caps {0,2,4}) and VT+RegMutex (SRP fractions {0.10..0.30}).
+func (s *jobSet) addConfig(cfg gpu.Config, prof kernels.Profile, grid int, cn ConfigName) (pick, error) {
+	p := pick{cn: cn}
+	switch cn {
+	case CfgBaseline:
+		p.refs = []ref{s.add(cfg, prof, grid, runner.Baseline(), false)}
+	case CfgVT:
+		p.refs = []ref{s.add(cfg, prof, grid, runner.VirtualThread(), false)}
+	case CfgRegDRAM:
+		for _, cap := range []int{0, 2, 4} {
+			p.refs = append(p.refs, s.add(cfg, prof, grid, runner.RegDRAM(cap), false))
+		}
+	case CfgRegMutex:
+		for _, frac := range []float64{0.10, 0.15, 0.20, 0.25, 0.30} {
+			p.refs = append(p.refs, s.add(cfg, prof, grid, runner.VTRegMutex(frac), false))
+		}
+	case CfgFineReg:
+		p.refs = []ref{s.add(cfg, prof, grid, runner.FineRegDefault(), false)}
+	default:
+		return p, fmt.Errorf("experiments: unknown configuration %q", cn)
+	}
+	return p, nil
+}
+
+// best resolves the pick against the batch results: the candidate with
+// peak IPC, earliest-submitted winning ties (matching the serial tuning
+// loops). Tuned configurations are relabeled to their paper name.
+func (p pick) best(runs []*Run) *Run {
+	b := runs[p.refs[0]]
+	for _, r := range p.refs[1:] {
+		if runs[r].Metrics.IPC() > b.Metrics.IPC() {
+			b = runs[r]
+		}
+	}
+	if len(p.refs) > 1 {
+		b.Metrics.Config = string(p.cn)
+	}
+	return b
+}
+
+// specFor maps a configuration name to its default-operating-point policy
+// spec (DRAM cap 4, SRP 0.25) — used where the paper does not tune.
+func specFor(cn ConfigName) (runner.PolicySpec, error) {
+	switch cn {
+	case CfgBaseline:
+		return runner.Baseline(), nil
+	case CfgVT:
+		return runner.VirtualThread(), nil
+	case CfgRegDRAM:
+		return runner.RegDRAM(4), nil
+	case CfgRegMutex:
+		return runner.VTRegMutex(0.25), nil
+	case CfgFineReg:
+		return runner.FineRegDefault(), nil
+	}
+	return runner.PolicySpec{}, fmt.Errorf("experiments: unknown configuration %q", cn)
+}

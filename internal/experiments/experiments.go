@@ -11,11 +11,10 @@
 package experiments
 
 import (
-	"fmt"
-
 	"finereg/internal/energy"
 	"finereg/internal/gpu"
 	"finereg/internal/kernels"
+	"finereg/internal/runner"
 	"finereg/internal/stats"
 )
 
@@ -31,6 +30,11 @@ type Options struct {
 	GridScale float64
 	// Benchmarks restricts the suite (nil = all of Table II).
 	Benchmarks []string
+	// Runner executes the simulations. nil uses a fresh default engine
+	// per experiment (GOMAXPROCS workers, no cache); share one Engine
+	// with a cache across experiments to dedup repeated points between
+	// figures — finereg-experiments does exactly that.
+	Runner *runner.Engine
 }
 
 // Paper returns the full-scale configuration of Table I.
@@ -100,67 +104,11 @@ type Run struct {
 	Windows []float64
 }
 
-// runOne executes one benchmark under one machine configuration + policy.
-func runOne(cfg gpu.Config, prof kernels.Profile, grid int, pf gpu.PolicyFactory, trackReg bool) (*Run, error) {
-	cfg.SM.TrackRegUsage = trackReg
-	k, err := kernels.Build(prof, grid)
-	if err != nil {
-		return nil, err
-	}
-	g := gpu.New(cfg, pf)
-	m, err := g.Run(k)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", prof.Abbrev, g.SMs[0].Pol.Name(), err)
-	}
-	r := &Run{Metrics: m, Energy: energy.Estimate(m, cfg.NumSMs, energy.DefaultCoefficients())}
-	if trackReg {
-		r.Windows = g.RegWindowFracs()
-	}
-	return r, nil
-}
-
-// runConfig dispatches by configuration name. Reg+DRAM and VT+RegMutex
-// follow the paper's per-application tuning methodology: "we varied the
-// number of pending CTAs in the off-chip memory to find its
-// best-performance setup for every application" (Reg+DRAM, caps {0,2,4})
-// and "we merged Virtual Thread into RegMutex to empirically find the
-// optimal operating point of RegMutex (i.e., the ratio of BRS and SRP)"
-// (SRP fractions {0.10..0.30}). The best run by IPC is reported.
-func runConfig(cfg gpu.Config, prof kernels.Profile, grid int, name ConfigName) (*Run, error) {
-	switch name {
-	case CfgBaseline:
-		return runOne(cfg, prof, grid, gpu.Baseline(), false)
-	case CfgVT:
-		return runOne(cfg, prof, grid, gpu.VirtualThread(), false)
-	case CfgRegDRAM:
-		var best *Run
-		for _, cap := range []int{0, 2, 4} {
-			r, err := runOne(cfg, prof, grid, gpu.RegDRAM(cap), false)
-			if err != nil {
-				return nil, err
-			}
-			if best == nil || r.Metrics.IPC() > best.Metrics.IPC() {
-				best = r
-			}
-		}
-		best.Metrics.Config = string(CfgRegDRAM)
-		return best, nil
-	case CfgRegMutex:
-		var best *Run
-		for _, frac := range []float64{0.10, 0.15, 0.20, 0.25, 0.30} {
-			r, err := runOne(cfg, prof, grid, gpu.VTRegMutex(frac), false)
-			if err != nil {
-				return nil, err
-			}
-			if best == nil || r.Metrics.IPC() > best.Metrics.IPC() {
-				best = r
-			}
-		}
-		best.Metrics.Config = string(CfgRegMutex)
-		return best, nil
-	case CfgFineReg:
-		return runOne(cfg, prof, grid, gpu.FineRegDefault(), false)
-	default:
-		return nil, fmt.Errorf("experiments: unknown configuration %q", name)
-	}
-}
+// Simulation dispatch lives in exec.go: experiments declare their runs as
+// a jobSet and the run engine (internal/runner) schedules, parallelizes,
+// and dedups them. The paper's per-application tuning of Reg+DRAM ("we
+// varied the number of pending CTAs in the off-chip memory to find its
+// best-performance setup for every application", caps {0,2,4}) and
+// VT+RegMutex ("we merged Virtual Thread into RegMutex to empirically find
+// the optimal operating point of RegMutex", SRP fractions {0.10..0.30})
+// is expressed as jobSet.addConfig candidates resolved by pick.best.

@@ -242,10 +242,14 @@ func TestFigure19UMOrdering(t *testing.T) {
 	}
 }
 
-func TestRunConfigUnknown(t *testing.T) {
+func TestUnknownConfigRejected(t *testing.T) {
 	prof, _ := kernels.ProfileByName("CS")
-	if _, err := runConfig(tiny().config(), prof, 4, ConfigName("bogus")); err == nil {
-		t.Error("unknown configuration should error")
+	set := tiny().newSet()
+	if _, err := set.addConfig(tiny().config(), prof, 4, ConfigName("bogus")); err == nil {
+		t.Error("addConfig should reject an unknown configuration")
+	}
+	if _, err := specFor(ConfigName("bogus")); err == nil {
+		t.Error("specFor should reject an unknown configuration")
 	}
 }
 

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+
+	"finereg/internal/runner"
+)
+
+// TestSweepParallelDeterminism is the engine's end-to-end determinism
+// regression: the rendered sweep tables must be byte-identical between a
+// serial engine and a wide one (ISSUE acceptance: `-jobs 1` vs `-jobs N`).
+func TestSweepParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		o := tiny("CS", "LB")
+		o.Runner = &runner.Engine{Jobs: workers}
+		s, err := RunSweep(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Figure12(s).Render() + Figure13(s).Render() + Figure16(s).Render()
+	}
+	serial := render(1)
+	wide := render(8)
+	if serial != wide {
+		t.Fatalf("rendered tables differ between jobs=1 and jobs=8:\n--- jobs=1\n%s\n--- jobs=8\n%s", serial, wide)
+	}
+}
+
+// TestSweepParallelWithCache exercises the full engine (worker pool +
+// shared cache) under the race detector when scripts/check.sh runs the test
+// suite with -race: concurrent workers, cache writes, and dedup on one
+// engine. It also checks that a cached second sweep simulates nothing.
+func TestSweepParallelWithCache(t *testing.T) {
+	eng := &runner.Engine{Jobs: 4, Cache: runner.NewCache(t.TempDir())}
+	o := tiny("CS", "LB")
+	o.Runner = eng
+	first, err := RunSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := eng.Stats().Executed
+	if executed == 0 {
+		t.Fatal("first sweep should simulate")
+	}
+	second, err := RunSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Executed; got != executed {
+		t.Fatalf("second sweep re-simulated: %d -> %d executions", executed, got)
+	}
+	if Figure13(first).Render() != Figure13(second).Render() {
+		t.Fatal("cached sweep renders differently")
+	}
+}
+
+// TestCrossExperimentDedup verifies the zero-duplicate-simulation property
+// the finereg-experiments CLI relies on: distinct experiments sharing one
+// engine reuse every coinciding point. The stall probes of StallBreakdowns
+// differ from sweep jobs (Stalls=true changes the key), but a repeated
+// figure — Figure13 and Figure16 both consuming RunSweep — must be free.
+func TestCrossExperimentDedup(t *testing.T) {
+	eng := &runner.Engine{Jobs: 2, Cache: runner.NewCache("")}
+	o := tiny("CS")
+	o.Runner = eng
+	if _, err := RunSweep(o); err != nil {
+		t.Fatal(err)
+	}
+	executed := eng.Stats().Executed
+
+	// TableIII re-runs plain baselines that the sweep already computed.
+	if _, err := TableIII(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Executed; got != executed {
+		t.Fatalf("TableIII re-simulated sweep points: %d -> %d", executed, got)
+	}
+}

@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"finereg/internal/gpu"
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
+	"finereg/internal/runner"
 	"finereg/internal/stats"
 )
 
@@ -32,32 +32,38 @@ type Figure17Result struct {
 // Figure17 sweeps the ACRF/PCRF partition over the benchmark suite.
 func Figure17(opts Options) (*Figure17Result, error) {
 	res := &Figure17Result{Splits: Figure17Splits}
-	base := map[string]*Run{}
+	set := opts.newSet()
+	baseRef := map[string]ref{}
 	for _, name := range opts.benchNames() {
 		prof, err := opts.profile(name)
 		if err != nil {
 			return nil, err
 		}
-		r, err := runOne(opts.config(), prof, opts.grid(&prof), gpu.Baseline(), false)
-		if err != nil {
-			return nil, err
-		}
-		base[name] = r
+		baseRef[name] = set.add(opts.config(), prof, opts.grid(&prof), runner.Baseline(), false)
 	}
+	splitRef := map[SplitKB]map[string]ref{}
 	for _, split := range Figure17Splits {
-		var perf, ctas, share []float64
+		splitRef[split] = map[string]ref{}
 		for _, name := range opts.benchNames() {
 			prof, err := opts.profile(name)
 			if err != nil {
 				return nil, err
 			}
-			r, err := runOne(opts.config(), prof, opts.grid(&prof),
-				gpu.FineReg(split.ACRF<<10, split.PCRF<<10), false)
-			if err != nil {
-				return nil, err
-			}
-			perf = append(perf, stats.Speedup(r.Metrics.IPC(), base[name].Metrics.IPC()))
-			ctas = append(ctas, stats.Speedup(r.Metrics.AvgResidentCTAs, base[name].Metrics.AvgResidentCTAs))
+			splitRef[split][name] = set.add(opts.config(), prof, opts.grid(&prof),
+				runner.FineReg(split.ACRF<<10, split.PCRF<<10), false)
+		}
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, split := range Figure17Splits {
+		var perf, ctas, share []float64
+		for _, name := range opts.benchNames() {
+			base := runs[baseRef[name]]
+			r := runs[splitRef[split][name]]
+			perf = append(perf, stats.Speedup(r.Metrics.IPC(), base.Metrics.IPC()))
+			ctas = append(ctas, stats.Speedup(r.Metrics.AvgResidentCTAs, base.Metrics.AvgResidentCTAs))
 			if r.Metrics.AvgResidentCTAs > 0 {
 				share = append(share, r.Metrics.AvgActiveCTAs/r.Metrics.AvgResidentCTAs)
 			}
@@ -120,57 +126,93 @@ func Figure18(opts Options, smCounts []int) (*Figure18Result, error) {
 		smCounts = []int{16, 32, 64, 128}
 	}
 	res := &Figure18Result{}
+
+	// Phase 1: baseline and FineReg at every machine size. The
+	// Baseline+Resource configuration is derived from these results, so it
+	// forms a second batch.
+	type point struct {
+		n             int
+		o             Options
+		prof          kernels.Profile
+		grid          int
+		base, fine    ref
+		big           ref // phase 2
+		k             float64
+		overheadBytes float64
+	}
+	set := opts.newSet()
+	var points []point
 	for _, n := range smCounts {
 		o := opts
 		o.SMs = n
 		o.GridScale = opts.GridScale * float64(n) / float64(opts.SMs)
 		o.Benchmarks = Figure18Benches
-		var fr, rs []float64
-		var overheadBytes float64
 		for _, name := range o.benchNames() {
 			prof, err := opts.profile(name)
 			if err != nil {
 				return nil, err
 			}
 			grid := o.grid(&prof)
-			base, err := runOne(o.config(), prof, grid, gpu.Baseline(), false)
-			if err != nil {
-				return nil, err
-			}
-			fine, err := runOne(o.config(), prof, grid, gpu.FineRegDefault(), false)
-			if err != nil {
-				return nil, err
-			}
-			fr = append(fr, stats.Speedup(fine.Metrics.IPC(), base.Metrics.IPC()))
+			points = append(points, point{
+				n: n, o: o, prof: prof, grid: grid,
+				base: set.add(o.config(), prof, grid, runner.Baseline(), false),
+				fine: set.add(o.config(), prof, grid, runner.FineRegDefault(), false),
+			})
+		}
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
 
-			// Baseline+Resource: scale scheduling and memory so the
-			// baseline can hold as many CTAs as FineReg kept resident.
-			k := fine.Metrics.AvgResidentCTAs / base.Metrics.AvgResidentCTAs
-			if k < 1 {
-				k = 1
+	// Phase 2: Baseline+Resource — scale scheduling and memory so the
+	// baseline can hold as many CTAs as FineReg kept resident.
+	set2 := opts.newSet()
+	for i := range points {
+		p := &points[i]
+		base, fine := runs[p.base], runs[p.fine]
+		k := fine.Metrics.AvgResidentCTAs / base.Metrics.AvgResidentCTAs
+		if k < 1 {
+			k = 1
+		}
+		p.k = k
+		cfg := p.o.config()
+		cfg.SM.MaxCTAs = int(float64(cfg.SM.MaxCTAs)*k) + 1
+		cfg.SM.MaxWarps = int(float64(cfg.SM.MaxWarps)*k) + 1
+		cfg.SM.MaxThreads = int(float64(cfg.SM.MaxThreads)*k) + 1
+		cfg.SM.RegFileBytes = int(float64(cfg.SM.RegFileBytes) * k)
+		cfg.SM.SharedMemBytes = int(float64(cfg.SM.SharedMemBytes) * k)
+		// The paper's Baseline+Resource provisions everything the
+		// extra CTAs need, including first-level cache capacity.
+		unit := cfg.SM.L1Ways * 128
+		cfg.SM.L1Bytes = int(float64(cfg.SM.L1Bytes)*k) / unit * unit
+		p.big = set2.add(cfg, p.prof, p.grid, runner.Baseline(), false)
+		p.overheadBytes = (k - 1) * float64((256+96+48)<<10) * float64(p.n)
+	}
+	runs2, err := set2.run()
+	if err != nil {
+		return nil, err
+	}
+
+	for _, n := range smCounts {
+		var fr, rs []float64
+		var overheadBytes float64
+		var benches int
+		for _, p := range points {
+			if p.n != n {
+				continue
 			}
-			cfg := o.config()
-			cfg.SM.MaxCTAs = int(float64(cfg.SM.MaxCTAs)*k) + 1
-			cfg.SM.MaxWarps = int(float64(cfg.SM.MaxWarps)*k) + 1
-			cfg.SM.MaxThreads = int(float64(cfg.SM.MaxThreads)*k) + 1
-			cfg.SM.RegFileBytes = int(float64(cfg.SM.RegFileBytes) * k)
-			cfg.SM.SharedMemBytes = int(float64(cfg.SM.SharedMemBytes) * k)
-			// The paper's Baseline+Resource provisions everything the
-			// extra CTAs need, including first-level cache capacity.
-			unit := cfg.SM.L1Ways * 128
-			cfg.SM.L1Bytes = int(float64(cfg.SM.L1Bytes)*k) / unit * unit
-			big, err := runOne(cfg, prof, grid, gpu.Baseline(), false)
-			if err != nil {
-				return nil, err
-			}
-			rs = append(rs, stats.Speedup(big.Metrics.IPC(), base.Metrics.IPC()))
-			overheadBytes += (k - 1) * float64((256+96+48)<<10) * float64(n)
+			base := runs[p.base]
+			fr = append(fr, stats.Speedup(runs[p.fine].Metrics.IPC(), base.Metrics.IPC()))
+			rs = append(rs, stats.Speedup(runs2[p.big].Metrics.IPC(), base.Metrics.IPC()))
+			overheadBytes += p.overheadBytes
+			benches++
 		}
 		res.Points = append(res.Points, Figure18Point{
 			SMs:             n,
 			FineRegSpeedup:  stats.Geomean(fr),
 			ResourceSpeedup: stats.Geomean(rs),
-			OverheadMB:      overheadBytes / float64(len(o.benchNames())) / (1 << 20),
+			OverheadMB:      overheadBytes / float64(benches) / (1 << 20),
 		})
 	}
 	return res, nil
@@ -207,29 +249,40 @@ var Figure19Labels = [3]string{"UM", "VT+UM", "FineReg+UM"}
 // unused shared-memory share of the 272 KB pool becomes extra L1 capacity.
 func Figure19(opts Options) (*Figure19Result, error) {
 	res := &Figure19Result{Speedup: map[string][3]float64{}}
+	type row struct {
+		name string
+		base ref
+		um   [3]ref
+	}
+	set := opts.newSet()
+	var rows []row
 	for _, name := range opts.benchNames() {
 		prof, err := opts.profile(name)
 		if err != nil {
 			return nil, err
 		}
 		grid := opts.grid(&prof)
-		base, err := runOne(opts.config(), prof, grid, gpu.Baseline(), false)
-		if err != nil {
-			return nil, err
-		}
 		umCfg := opts.config()
 		umCfg.SM.L1Bytes = umL1Bytes(&prof, umCfg.SM.L1Ways)
 
-		var trip [3]float64
-		for i, pf := range []gpu.PolicyFactory{gpu.Baseline(), gpu.VirtualThread(), gpu.FineRegDefault()} {
-			r, err := runOne(umCfg, prof, grid, pf, false)
-			if err != nil {
-				return nil, err
-			}
-			trip[i] = stats.Speedup(r.Metrics.IPC(), base.Metrics.IPC())
+		r := row{name: name, base: set.add(opts.config(), prof, grid, runner.Baseline(), false)}
+		for i, pol := range []runner.PolicySpec{runner.Baseline(), runner.VirtualThread(), runner.FineRegDefault()} {
+			r.um[i] = set.add(umCfg, prof, grid, pol, false)
 		}
-		res.Speedup[name] = trip
-		res.Order = append(res.Order, name)
+		rows = append(rows, r)
+	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		base := runs[r.base]
+		var trip [3]float64
+		for i := 0; i < 3; i++ {
+			trip[i] = stats.Speedup(runs[r.um[i]].Metrics.IPC(), base.Metrics.IPC())
+		}
+		res.Speedup[r.name] = trip
+		res.Order = append(res.Order, r.name)
 	}
 	for i := 0; i < 3; i++ {
 		var v []float64

@@ -3,10 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"finereg/internal/gpu"
-	"finereg/internal/kernels"
 	"finereg/internal/stats"
-	"finereg/internal/trace"
 )
 
 // StallRun is one traced simulation: its metrics with the stall breakdown
@@ -23,75 +20,52 @@ type StallReport struct {
 }
 
 // StallBreakdowns runs each benchmark under each configuration with a
-// stall-attribution aggregator attached. Unlike runConfig it does not
+// stall-attribution aggregator attached (Job.Stalls — the engine verifies
+// the accounting partition per job). Unlike the sweep it does not
 // per-application-tune Reg+DRAM/RegMutex (a traced run is a diagnostic
 // probe, not a reported score): it uses the paper's default operating
-// points (DRAM cap 4, SRP 0.25).
+// points (DRAM cap 4, SRP 0.25) via specFor.
 func StallBreakdowns(o Options, configs []ConfigName) (*StallReport, error) {
 	if len(configs) == 0 {
 		configs = StandardConfigs()
 	}
-	rep := &StallReport{Configs: configs, Runs: map[string]map[ConfigName]*StallRun{}}
+	type cell struct {
+		bench string
+		cn    ConfigName
+		r     ref
+	}
+	set := o.newSet()
+	var cells []cell
 	for _, name := range o.benchNames() {
 		prof, err := o.profile(name)
 		if err != nil {
 			return nil, err
 		}
-		rep.Runs[name] = map[ConfigName]*StallRun{}
 		for _, cn := range configs {
-			pf, err := factoryFor(cn)
+			pol, err := specFor(cn)
 			if err != nil {
 				return nil, err
 			}
-			r, err := tracedRun(o.config(), prof, o.grid(&prof), pf)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, cn, err)
-			}
-			r.Metrics.Config = string(cn)
-			rep.Runs[name][cn] = r
+			cells = append(cells, cell{
+				bench: name, cn: cn,
+				r: set.addTraced(o.config(), prof, o.grid(&prof), pol),
+			})
 		}
 	}
+	runs, err := set.run()
+	if err != nil {
+		return nil, err
+	}
+	rep := &StallReport{Configs: configs, Runs: map[string]map[ConfigName]*StallRun{}}
+	for _, c := range cells {
+		if rep.Runs[c.bench] == nil {
+			rep.Runs[c.bench] = map[ConfigName]*StallRun{}
+		}
+		m := runs[c.r].Metrics
+		m.Config = string(c.cn)
+		rep.Runs[c.bench][c.cn] = &StallRun{Metrics: m}
+	}
 	return rep, nil
-}
-
-// factoryFor maps a configuration name to its default-operating-point
-// policy factory.
-func factoryFor(cn ConfigName) (gpu.PolicyFactory, error) {
-	switch cn {
-	case CfgBaseline:
-		return gpu.Baseline(), nil
-	case CfgVT:
-		return gpu.VirtualThread(), nil
-	case CfgRegDRAM:
-		return gpu.RegDRAM(4), nil
-	case CfgRegMutex:
-		return gpu.VTRegMutex(0.25), nil
-	case CfgFineReg:
-		return gpu.FineRegDefault(), nil
-	}
-	return nil, fmt.Errorf("experiments: unknown configuration %q", cn)
-}
-
-// tracedRun executes one simulation with a stall aggregator attached and
-// verifies the accounting partition before returning.
-func tracedRun(cfg gpu.Config, prof kernels.Profile, grid int, pf gpu.PolicyFactory) (*StallRun, error) {
-	k, err := kernels.Build(prof, grid)
-	if err != nil {
-		return nil, err
-	}
-	agg := trace.NewStallAggregator()
-	g := gpu.New(cfg, pf)
-	g.SetTrace(agg)
-	m, err := g.Run(k)
-	if err != nil {
-		return nil, err
-	}
-	b := agg.Breakdown()
-	if err := b.Check(); err != nil {
-		return nil, fmt.Errorf("stall accounting: %w", err)
-	}
-	m.Stalls = b
-	return &StallRun{Metrics: m}, nil
 }
 
 // Render prints one row per benchmark × configuration with the share of

@@ -8,6 +8,7 @@ package gpu
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
@@ -89,7 +90,14 @@ type GPU struct {
 	SMs  []*sm.SM
 	disp *dispatcher
 	sink trace.Sink
+	stop atomic.Bool
 }
+
+// Stop asynchronously aborts a running simulation: the next event step of
+// Run observes the flag and returns ErrInterrupted. Safe to call from any
+// goroutine (the run engine's per-job wall-clock timeout uses it); calling
+// it on an idle GPU makes the next Run fail fast.
+func (g *GPU) Stop() { g.stop.Store(true) }
 
 // SetTrace attaches an event sink to every SM and to the run loop. Pass
 // nil to detach. The zero-sink (nil) path costs one pointer check per
@@ -118,6 +126,9 @@ var ErrDeadlock = errors.New("gpu: simulation deadlock")
 // ErrCycleBudget is returned when the MaxCycles guard trips.
 var ErrCycleBudget = errors.New("gpu: cycle budget exceeded")
 
+// ErrInterrupted is returned when Stop aborts a simulation.
+var ErrInterrupted = errors.New("gpu: simulation interrupted")
+
 const farFuture = int64(1) << 62
 
 // Run executes kernel k to completion and returns its metrics.
@@ -139,6 +150,9 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 	var residentInt, activeInt, threadsInt float64
 
 	for {
+		if g.stop.Load() {
+			return nil, fmt.Errorf("%w at cycle %d", ErrInterrupted, now)
+		}
 		next := farFuture
 		anyResident := false
 		for _, s := range g.SMs {

@@ -1,0 +1,149 @@
+// Package runner is the simulation run engine: it turns every simulation
+// into a schedulable Job with a deterministic content-addressed key,
+// executes job sets on a worker pool, dedups repeated points through an
+// in-memory + on-disk result cache, and isolates faults (panics, wall-clock
+// timeouts) to the job that caused them. Results come back in submission
+// order, so a batch at -jobs N renders byte-identically to -jobs 1.
+//
+// The layering mirrors the rest of the repository: the simulator
+// (internal/gpu and below) stays single-threaded and is never shared —
+// each job builds a fresh kernel, GPU, and trace sink — while the engine
+// owns all cross-goroutine state.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/stats"
+	"finereg/internal/trace"
+)
+
+// SimFingerprint versions the simulator's observable semantics. It is part
+// of every job key, so bumping it invalidates all cached results at once;
+// bump it whenever a change to the timing model, kernel generation, or
+// metric collection can alter any simulation outcome.
+const SimFingerprint = "finereg-sim-v1"
+
+// Job is one schedulable simulation: a machine configuration, a kernel
+// profile and grid, a policy, and instrumentation flags. The zero-value
+// fields all participate in the key, so two Jobs with equal exported
+// fields are the same point.
+type Job struct {
+	Cfg     gpu.Config
+	Profile kernels.Profile
+	Grid    int
+	Policy  PolicySpec
+	// TrackReg enables the Figure 5 register-usage windows.
+	TrackReg bool
+	// Stalls attaches a stall-attribution aggregator; the result's
+	// Metrics.Stalls carries the verified breakdown.
+	Stalls bool
+
+	// Label is a human-readable tag for progress lines and errors; it is
+	// NOT part of the key.
+	Label string
+}
+
+// label returns Label or a synthesized bench/policy tag.
+func (j *Job) label() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	return j.Profile.Abbrev + "/" + j.Policy.Name()
+}
+
+// Key returns the content-addressed identity of the job: the hex SHA-256
+// of the canonical JSON encoding of (fingerprint, config, profile, grid,
+// policy, instrumentation). Go's encoding/json emits struct fields in
+// declaration order, so the encoding — and therefore the key — is stable
+// for a given simulator version.
+func (j *Job) Key(fingerprint string) string {
+	payload := struct {
+		Fingerprint string          `json:"fingerprint"`
+		Cfg         gpu.Config      `json:"cfg"`
+		Profile     kernels.Profile `json:"profile"`
+		Grid        int             `json:"grid"`
+		Policy      PolicySpec      `json:"policy"`
+		TrackReg    bool            `json:"track_reg"`
+		Stalls      bool            `json:"stalls"`
+	}{fingerprint, j.Cfg, j.Profile, j.Grid, j.Policy, j.TrackReg, j.Stalls}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// All field types are plain values; failure here is a programming
+		// error in the job definition, not a runtime condition.
+		panic(fmt.Sprintf("runner: job key encoding: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Result is one job's outcome. Stall breakdowns ride inside
+// Metrics.Stalls; energy is derived downstream (it is a pure function of
+// the metrics and the machine size).
+type Result struct {
+	Metrics *stats.Metrics
+	// Windows holds the Figure 5 register-usage fractions when TrackReg
+	// was set.
+	Windows []float64 `json:",omitempty"`
+}
+
+// Clone returns an independent deep copy. Every consumer of a cached or
+// deduplicated result receives its own clone, so relabeling Metrics.Config
+// or attaching data never corrupts the cache or a sibling job.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	c := &Result{Metrics: r.Metrics.Clone()}
+	if r.Windows != nil {
+		c.Windows = append([]float64(nil), r.Windows...)
+	}
+	return c
+}
+
+// execute runs the simulation for j from scratch: fresh kernel, fresh GPU,
+// fresh per-job trace sink. It never touches engine state, so any number
+// of executes may run concurrently. attach (optional) receives the GPU
+// before the run starts so a watchdog can Stop it.
+func execute(j *Job, attach func(*gpu.GPU)) (*Result, error) {
+	pf, err := j.Policy.Factory()
+	if err != nil {
+		return nil, err
+	}
+	cfg := j.Cfg
+	cfg.SM.TrackRegUsage = j.TrackReg
+	k, err := kernels.Build(j.Profile, j.Grid)
+	if err != nil {
+		return nil, err
+	}
+	machine := gpu.New(cfg, pf)
+	if attach != nil {
+		attach(machine)
+	}
+	var agg *trace.StallAggregator
+	if j.Stalls {
+		agg = trace.NewStallAggregator()
+		machine.SetTrace(agg)
+	}
+	m, err := machine.Run(k)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Metrics: m}
+	if agg != nil {
+		bd := agg.Breakdown()
+		if err := bd.Check(); err != nil {
+			return nil, fmt.Errorf("stall accounting: %w", err)
+		}
+		m.Stalls = bd
+	}
+	if j.TrackReg {
+		res.Windows = machine.RegWindowFracs()
+	}
+	return res, nil
+}

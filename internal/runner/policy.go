@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"fmt"
+
+	"finereg/internal/gpu"
+)
+
+// PolicySpec is a serializable description of a register-file management
+// policy — the job-key-friendly counterpart of gpu.PolicyFactory (which,
+// being a closure, can be neither hashed nor stored). The Kind plus the
+// parameter fields fully determine behaviour for the built-in policies, so
+// two jobs with equal specs are interchangeable and cache-equivalent.
+type PolicySpec struct {
+	// Kind selects the policy: "baseline", "vt", "regdram", "regmutex",
+	// "finereg", "finereg-default", "finereg-full", or "custom:<name>".
+	Kind string `json:"kind"`
+	// DRAMCap is the Reg+DRAM per-SM off-chip pending-CTA cap.
+	DRAMCap int `json:"dram_cap"`
+	// SRPFrac is the RegMutex shared-register-pool fraction.
+	SRPFrac float64 `json:"srp_frac"`
+	// ACRFBytes/PCRFBytes split the register file for explicit FineReg
+	// configurations (unused by "finereg-default", which halves whatever
+	// the SM config provides).
+	ACRFBytes int `json:"acrf_bytes"`
+	PCRFBytes int `json:"pcrf_bytes"`
+
+	// factory backs "custom:" specs only. It never reaches the job key or
+	// the on-disk cache — the custom name stands in for it, so the name
+	// MUST uniquely and stably identify the policy's behaviour (version it
+	// if the behaviour changes).
+	factory gpu.PolicyFactory
+}
+
+// Baseline is the conventional GPU (no CTA switching).
+func Baseline() PolicySpec { return PolicySpec{Kind: "baseline"} }
+
+// VirtualThread is the Virtual Thread configuration.
+func VirtualThread() PolicySpec { return PolicySpec{Kind: "vt"} }
+
+// RegDRAM is the Reg+DRAM (Zorua-like) configuration with the given
+// per-SM off-chip pending-CTA cap.
+func RegDRAM(cap int) PolicySpec { return PolicySpec{Kind: "regdram", DRAMCap: cap} }
+
+// VTRegMutex is the VT+RegMutex configuration with srpFrac of the register
+// file as the shared register pool.
+func VTRegMutex(srpFrac float64) PolicySpec { return PolicySpec{Kind: "regmutex", SRPFrac: srpFrac} }
+
+// FineReg is the paper's policy with an explicit ACRF/PCRF byte split.
+func FineReg(acrfBytes, pcrfBytes int) PolicySpec {
+	return PolicySpec{Kind: "finereg", ACRFBytes: acrfBytes, PCRFBytes: pcrfBytes}
+}
+
+// FineRegDefault splits the configured register file in half.
+func FineRegDefault() PolicySpec { return PolicySpec{Kind: "finereg-default"} }
+
+// FineRegFull is the ablation that stores full register sets in the PCRF
+// instead of live-only sets.
+func FineRegFull(acrfBytes, pcrfBytes int) PolicySpec {
+	return PolicySpec{Kind: "finereg-full", ACRFBytes: acrfBytes, PCRFBytes: pcrfBytes}
+}
+
+// Custom wraps an arbitrary factory under a caller-chosen name. The name
+// becomes part of the job key (and hence the cache identity), so it must
+// uniquely identify the factory's behaviour across invocations.
+func Custom(name string, pf gpu.PolicyFactory) PolicySpec {
+	return PolicySpec{Kind: "custom:" + name, factory: pf}
+}
+
+// Name returns a short human label ("regmutex(srp=0.25)") for progress
+// lines and error messages.
+func (p PolicySpec) Name() string {
+	switch p.Kind {
+	case "regdram":
+		return fmt.Sprintf("regdram(cap=%d)", p.DRAMCap)
+	case "regmutex":
+		return fmt.Sprintf("regmutex(srp=%.2f)", p.SRPFrac)
+	case "finereg":
+		return fmt.Sprintf("finereg(%dK/%dK)", p.ACRFBytes>>10, p.PCRFBytes>>10)
+	case "finereg-full":
+		return fmt.Sprintf("finereg-full(%dK/%dK)", p.ACRFBytes>>10, p.PCRFBytes>>10)
+	}
+	return p.Kind
+}
+
+// Factory resolves the spec to a gpu.PolicyFactory.
+func (p PolicySpec) Factory() (gpu.PolicyFactory, error) {
+	switch p.Kind {
+	case "baseline":
+		return gpu.Baseline(), nil
+	case "vt":
+		return gpu.VirtualThread(), nil
+	case "regdram":
+		return gpu.RegDRAM(p.DRAMCap), nil
+	case "regmutex":
+		return gpu.VTRegMutex(p.SRPFrac), nil
+	case "finereg":
+		return gpu.FineReg(p.ACRFBytes, p.PCRFBytes), nil
+	case "finereg-default":
+		return gpu.FineRegDefault(), nil
+	case "finereg-full":
+		return gpu.FineRegFull(p.ACRFBytes, p.PCRFBytes), nil
+	}
+	if p.factory != nil {
+		return p.factory, nil
+	}
+	return nil, fmt.Errorf("runner: policy spec %q has no factory", p.Kind)
+}

@@ -58,6 +58,18 @@ type Metrics struct {
 	Stalls *StallBreakdown `json:",omitempty"`
 }
 
+// Clone returns an independent deep copy. The run engine hands every
+// consumer of a cached or deduplicated result its own copy, so callers may
+// freely relabel Config or attach data without corrupting the cache.
+func (m *Metrics) Clone() *Metrics {
+	c := *m
+	if m.Stalls != nil {
+		s := *m.Stalls
+		c.Stalls = &s
+	}
+	return &c
+}
+
 // IPC returns instructions per cycle (0 when no cycles elapsed).
 func (m *Metrics) IPC() float64 {
 	if m.Cycles == 0 {

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// JobSink extends the observability layer from simulated time to harness
+// time: the run engine (internal/runner) reports batch-level job lifecycle
+// events — submission, start, completion, cache hits — through this
+// interface, the batch-scheduling counterpart of Sink's cycle-level stream.
+// The engine serializes calls (one event at a time, from worker
+// goroutines), so implementations need no locking of their own against the
+// engine; Progress locks anyway because CLIs may share it across engines.
+type JobSink interface {
+	// BatchStart opens a batch of total jobs.
+	BatchStart(total int)
+	// JobStart: worker began executing job id (a cache miss; cache hits
+	// skip straight to JobDone).
+	JobStart(id int, label string)
+	// JobDone: job id finished. cached reports whether the result came
+	// from the content-addressed cache (memory or disk) or from a
+	// duplicate in-flight job rather than a fresh simulation.
+	JobDone(id int, label string, cached bool, err error)
+	// BatchEnd closes the batch.
+	BatchEnd()
+}
+
+// Progress is a JobSink that renders a single live status line — jobs
+// done/total, cache hits, failures, throughput — rewriting it in place
+// with carriage returns. Point it at stderr so machine-readable stdout
+// stays clean. Counts accumulate across batches (one experiments run
+// issues many), so the line shows whole-invocation throughput. Call Close
+// when done to terminate the line.
+type Progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	start   time.Time
+	total   int
+	done    int
+	cached  int
+	failed  int
+	lastLen int
+}
+
+// NewProgress returns a Progress writing to w (conventionally os.Stderr).
+func NewProgress(w io.Writer) *Progress { return &Progress{w: w} }
+
+// BatchStart implements JobSink.
+func (p *Progress) BatchStart(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
+	p.total += total
+	p.render()
+}
+
+// JobStart implements JobSink.
+func (p *Progress) JobStart(int, string) {}
+
+// JobDone implements JobSink.
+func (p *Progress) JobDone(id int, label string, cached bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if cached {
+		p.cached++
+	}
+	if err != nil {
+		p.failed++
+	}
+	p.render()
+}
+
+// BatchEnd implements JobSink.
+func (p *Progress) BatchEnd() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.render()
+}
+
+// Close terminates the status line (no-op if nothing was rendered).
+func (p *Progress) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lastLen > 0 {
+		fmt.Fprintln(p.w)
+		p.lastLen = 0
+	}
+}
+
+// render rewrites the status line in place; the caller holds p.mu.
+func (p *Progress) render() {
+	elapsed := time.Since(p.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(p.done) / elapsed
+	}
+	line := fmt.Sprintf("jobs %d/%d done (%d cached, %d failed) %.1f jobs/s",
+		p.done, p.total, p.cached, p.failed, rate)
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.lastLen = len(line)
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Measures the run engine's parallel and cached speedup on the quick sweep
+# and records it in BENCH_sweep.json at the repo root. Pass a worker count
+# to override the default of 4:
+#
+#	scripts/bench_sweep.sh [jobs]
+#
+# The harness (cmd/finereg-bench) also byte-compares the serial and
+# parallel sweep tables, so this doubles as the determinism acceptance
+# check on real hardware.
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-4}"
+go run ./cmd/finereg-bench -jobs "$JOBS" -out BENCH_sweep.json

@@ -14,3 +14,6 @@ go vet ./...
 go build ./...
 # -short: see the race target in the Makefile.
 go test -race -short -timeout 20m ./...
+# Run-engine gate: a parallel mini-sweep (4 workers + shared cache) under
+# the race detector, end to end through the experiments layer.
+go test -race -timeout 10m -run 'TestSweepParallelWithCache|TestSweepParallelDeterminism' ./internal/experiments/
