@@ -228,6 +228,26 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
 }
 
+// BenchmarkSimulatorThroughputAudited is BenchmarkSimulatorThroughput with
+// the runtime invariant auditor enabled — the measured cost of auditing
+// every CTA lifecycle transition plus the periodic full sweeps. Compare the
+// two benchmarks' sim-cycles/s to see the auditor's overhead; the audit-off
+// path costs one nil check per event round (see gpu.Run), so the plain
+// benchmark doubles as the no-audit baseline.
+func BenchmarkSimulatorThroughputAudited(b *testing.B) {
+	cfg := ScaledConfig(4)
+	cfg.Audit = true
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m, err := RunBenchmark(cfg, "CS", 256, FineReg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += m.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
 // BenchmarkAblations regenerates the design-choice ablation study
 // (DESIGN.md §7): live compaction off, cold bit-vector cache, LRR
 // scheduling — each relative to the full FineReg design.

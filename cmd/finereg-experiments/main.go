@@ -3,7 +3,7 @@
 // Usage:
 //
 //	finereg-experiments [-only t2,f2,f3,f4,f5,t3,f12,f13,f14,f15,f16,f17,f18,f19,abl,stalls]
-//	                    [-sms 16] [-grid-scale 1.0] [-quick]
+//	                    [-sms 16] [-grid-scale 1.0] [-quick] [-audit]
 //	                    [-jobs N] [-cache-dir .finereg-cache] [-no-cache]
 //	                    [-job-timeout 0]
 //
@@ -46,6 +46,7 @@ func main() {
 		sms        = flag.Int("sms", 16, "number of SMs")
 		gridScale  = flag.Float64("grid-scale", 1.0, "workload grid scale")
 		quick      = flag.Bool("quick", false, "use the 4-SM quick configuration")
+		auditRuns  = flag.Bool("audit", false, "enable the runtime invariant auditor on every simulation")
 		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", ".finereg-cache", "on-disk result cache directory ('' = memory only)")
 		noCache    = flag.Bool("no-cache", false, "keep results in memory only (no disk reads or writes)")
@@ -57,6 +58,7 @@ func main() {
 	if *quick {
 		opts = experiments.Quick()
 	}
+	opts.Audit = *auditRuns
 
 	valid := map[string]bool{}
 	for _, id := range experimentIDs {

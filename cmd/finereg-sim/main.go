@@ -6,7 +6,7 @@
 //
 //	finereg-sim [-bench CS,LB | all] [-policy baseline,vt,regdram,regmutex,finereg | all]
 //	            [-sms 16] [-grid-scale 1.0] [-srp 0.25] [-dram-cap 4] [-v]
-//	            [-json | -csv] [-stalls]
+//	            [-json | -csv] [-stalls] [-audit]
 //	            [-jobs N] [-cache-dir ''] [-no-cache] [-job-timeout 0]
 //
 // -json and -csv replace the table with machine-readable output on stdout
@@ -48,6 +48,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit metrics as a JSON array instead of the table")
 		csvOut     = flag.Bool("csv", false, "emit metrics as CSV instead of the table")
 		stalls     = flag.Bool("stalls", false, "trace each run and attach the stall-cycle breakdown")
+		auditRuns  = flag.Bool("audit", false, "enable the runtime invariant auditor on every run (internal/audit)")
 		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory ('' = no disk cache)")
 		noCache    = flag.Bool("no-cache", false, "disable the on-disk cache even if -cache-dir is set")
@@ -56,6 +57,7 @@ func main() {
 	flag.Parse()
 
 	cfg := gpu.Default().Scale(*sms)
+	cfg.Audit = *auditRuns
 	scale := *gridScale
 	if scale == 0 {
 		scale = float64(*sms) / 16

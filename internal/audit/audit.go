@@ -1,0 +1,327 @@
+// Package audit is the simulator's runtime invariant checker. The
+// occupancy counters the timing model maintains incrementally (warpsUsed,
+// threadsUsed, awake, shmemUsed, active/pending CTA counts) and the
+// register accounting each policy maintains (regsFree, PCRF free space,
+// SRP holds, DRAM pool occupancy) are exactly the bookkeeping the paper
+// delegates to hardware — and exactly where a cycle-level simulator rots:
+// one skipped decrement corrupts every downstream figure silently.
+//
+// The auditor re-derives each counter from first principles — by walking
+// the resident CTA set, the per-warp flags, the scheduler lists, the event
+// heap, and (for FineReg) the PCRF tag chains — and compares. gpu.Run
+// invokes it when Config.Audit is set: a full sweep every AuditInterval
+// cycles plus a targeted sweep of any SM whose CTA lifecycle counters
+// changed since the last event step, so every launch/switch/finish
+// transition is audited at the step it happened. A mismatch aborts the run
+// with a *Violation carrying the rule, both values, and a full state dump.
+//
+// The companion package audit/diff layers differential validation on top:
+// cross-policy invariants (the executed instruction stream is
+// policy-invariant) and replay determinism over random kernels.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"finereg/internal/sm"
+)
+
+// DefaultInterval is the periodic full-sweep period in cycles when
+// gpu.Config.AuditInterval is zero. Transitions are audited as they happen
+// regardless; the periodic sweep bounds how long a drift that does not
+// change CTA counts (e.g. a leaked awake counter) can go unnoticed.
+const DefaultInterval = 4096
+
+// Violation is a failed invariant: which SM, when, which rule, and the
+// mismatching values, plus a rendered dump of the SM's resident state.
+// It flows out through gpu.Run's error return.
+type Violation struct {
+	SM    int
+	Cycle int64
+	// Rule names the invariant (e.g. "warpsUsed", "policy:regsFree").
+	Rule string
+	// Got is the maintained value, Want the recomputed ground truth.
+	Got, Want int64
+	// Detail optionally qualifies the mismatch (range bounds, CTA id).
+	Detail string
+	// Dump is the SM's resident/warp state at detection time.
+	Dump string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	msg := fmt.Sprintf("audit: SM%d cycle %d: %s = %d, want %d", v.SM, v.Cycle, v.Rule, v.Got, v.Want)
+	if v.Detail != "" {
+		msg += " (" + v.Detail + ")"
+	}
+	if v.Dump != "" {
+		msg += "\n" + v.Dump
+	}
+	return msg
+}
+
+// sig is the transition signature: if any of these change between event
+// steps, a CTA lifecycle transition happened on the SM and it is audited
+// immediately rather than waiting for the interval sweep.
+type sig struct {
+	launched, switches int64
+	residents          int
+	active, pending    int
+}
+
+func sigOf(s *sm.SM) sig {
+	return sig{
+		launched:  s.Cnt.CTAsLaunched,
+		switches:  s.Cnt.CTASwitches,
+		residents: len(s.Residents()),
+		active:    s.ActiveCTAs(),
+		pending:   s.PendingCTAs(),
+	}
+}
+
+// Auditor drives invariant checking over a set of SMs. One Auditor per
+// run; it is not safe for concurrent use (gpu.Run is single-threaded).
+type Auditor struct {
+	// Interval is the periodic full-sweep period in cycles.
+	Interval int64
+
+	next int64
+	sigs []sig
+}
+
+// New returns an Auditor sweeping every interval cycles (<= 0 uses
+// DefaultInterval).
+func New(interval int64) *Auditor {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Auditor{Interval: interval}
+}
+
+// Step audits after one event step at cycle now: every SM whose lifecycle
+// signature changed since the previous step, and all SMs when the periodic
+// interval has elapsed. Returns the first *Violation found, or nil.
+func (a *Auditor) Step(sms []*sm.SM, now int64) error {
+	if a.sigs == nil {
+		a.sigs = make([]sig, len(sms))
+		for i, s := range sms {
+			a.sigs[i] = sigOf(s)
+		}
+		// First step: audit everything (kernel start transitions).
+		a.next = now + a.Interval
+		return a.sweep(sms, now)
+	}
+	full := now >= a.next
+	if full {
+		a.next = now + a.Interval
+		return a.sweep(sms, now)
+	}
+	for i, s := range sms {
+		if g := sigOf(s); g != a.sigs[i] {
+			a.sigs[i] = g
+			if err := CheckSM(s, now); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (a *Auditor) sweep(sms []*sm.SM, now int64) error {
+	for i, s := range sms {
+		a.sigs[i] = sigOf(s)
+		if err := CheckSM(s, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Final audits every SM once (end-of-run leak check: a drained machine
+// must account every resource as free).
+func (a *Auditor) Final(sms []*sm.SM, now int64) error {
+	return a.sweep(sms, now)
+}
+
+// CheckSM verifies every invariant of one SM at cycle now and returns the
+// first *Violation, or nil. It must be called between Tick rounds (the
+// counters are transiently inconsistent mid-issue).
+//
+// Invariant catalogue (DESIGN.md §10):
+//
+//	occupancy   warpsUsed, threadsUsed, awake, shmemUsed, activeCTAs,
+//	            pendingCTAs equal sums over residents and warp flags
+//	warp flags  an awake warp is schedulable (woken, active CTA, not
+//	            exited/parked); per-CTA stalledWarps/barWaiting/
+//	            finishedWarps match the per-warp flags
+//	schedulers  the scheduler lists hold exactly the warps of active CTAs,
+//	            each once; non-exited entries == warpsUsed
+//	events      no event is due and unserviced (NextEventAt >= now)
+//	policy      every sm.SelfAuditing account matches its recomputed
+//	            ground truth and stays within [Min, Max]
+func CheckSM(s *sm.SM, now int64) error {
+	if !s.KernelBound() {
+		return nil
+	}
+	fail := func(rule string, got, want int64, detail string) error {
+		return &Violation{SM: s.ID, Cycle: now, Rule: rule, Got: got, Want: want,
+			Detail: detail, Dump: DumpSM(s, now)}
+	}
+
+	// Ground truth from the resident set.
+	var active, pending, warps, awake, shmem int
+	for _, c := range s.Residents() {
+		switch {
+		case c.State == sm.CTAActive:
+			active++
+		case c.State.IsPending():
+			pending++
+		default:
+			return fail("residentState", int64(c.State), int64(sm.CTAActive),
+				fmt.Sprintf("CTA %d resident in non-resident state", c.ID))
+		}
+		shmem += s.Meta().SharedMemPerCTA()
+
+		var exited, stalled, atBar int
+		for _, w := range c.Warps {
+			if w.Exited() {
+				exited++
+				if w.LongBlocked() {
+					return fail("warpFlags", 1, 0,
+						fmt.Sprintf("CTA %d warp %d exited but longBlocked", c.ID, w.Idx))
+				}
+				continue
+			}
+			if w.LongBlocked() {
+				stalled++
+			}
+			if w.AtBarrier() {
+				atBar++
+			}
+			if c.State == sm.CTAActive {
+				warps++
+				if !w.Asleep() {
+					awake++
+					if w.WakeAt() > now {
+						return fail("awakeWake", w.WakeAt(), now,
+							fmt.Sprintf("CTA %d warp %d awake before its wake time", c.ID, w.Idx))
+					}
+					if w.AtBarrier() {
+						return fail("awakeBarrier", 1, 0,
+							fmt.Sprintf("CTA %d warp %d awake while parked at barrier", c.ID, w.Idx))
+					}
+				}
+			} else if !w.Asleep() {
+				return fail("pendingAwake", 1, 0,
+					fmt.Sprintf("pending CTA %d has awake warp %d", c.ID, w.Idx))
+			}
+		}
+		if c.FinishedWarps() != exited {
+			return fail("finishedWarps", int64(c.FinishedWarps()), int64(exited),
+				fmt.Sprintf("CTA %d", c.ID))
+		}
+		if c.StalledWarps() != stalled {
+			return fail("stalledWarps", int64(c.StalledWarps()), int64(stalled),
+				fmt.Sprintf("CTA %d", c.ID))
+		}
+		if c.BarWaiting() != atBar {
+			return fail("barWaiting", int64(c.BarWaiting()), int64(atBar),
+				fmt.Sprintf("CTA %d", c.ID))
+		}
+	}
+
+	// Occupancy counters against the recomputed sums.
+	if s.ActiveCTAs() != active {
+		return fail("activeCTAs", int64(s.ActiveCTAs()), int64(active), "")
+	}
+	if s.PendingCTAs() != pending {
+		return fail("pendingCTAs", int64(s.PendingCTAs()), int64(pending), "")
+	}
+	if s.WarpsUsed() != warps {
+		return fail("warpsUsed", int64(s.WarpsUsed()), int64(warps), "")
+	}
+	if s.ThreadsUsed() != warps*32 {
+		return fail("threadsUsed", int64(s.ThreadsUsed()), int64(warps*32), "")
+	}
+	if s.AwakeWarps() != awake {
+		return fail("awake", int64(s.AwakeWarps()), int64(awake), "")
+	}
+	if s.SharedMemUsed() != shmem {
+		return fail("shmemUsed", int64(s.SharedMemUsed()), int64(shmem), "")
+	}
+
+	// Scheduler lists: exactly the warps of active CTAs, each wired once;
+	// exited warps may linger until their CTA finishes, so the non-exited
+	// entry count is what must equal warpsUsed.
+	seen := make(map[*sm.Warp]int)
+	listed := 0
+	var dup error
+	s.EachSchedulerWarp(func(sid int, w *sm.Warp) {
+		seen[w]++
+		if dup != nil {
+			return
+		}
+		if seen[w] > 1 {
+			dup = fail("schedulerDup", int64(seen[w]), 1,
+				fmt.Sprintf("CTA %d warp %d wired %d times", w.CTA.ID, w.Idx, seen[w]))
+			return
+		}
+		if w.CTA.State != sm.CTAActive {
+			dup = fail("schedulerStale", int64(w.CTA.State), int64(sm.CTAActive),
+				fmt.Sprintf("scheduler %d holds warp of non-active CTA %d", sid, w.CTA.ID))
+			return
+		}
+		if !w.Exited() {
+			listed++
+		}
+	})
+	if dup != nil {
+		return dup
+	}
+	if listed != warps {
+		return fail("schedulerCoverage", int64(listed), int64(warps),
+			"non-exited scheduler entries vs active-CTA warps")
+	}
+
+	// Event heap: Tick(now) drains everything due at or before now, and
+	// nothing scheduled during the tick may be in the past.
+	if next := s.NextEventAt(); next < now {
+		return fail("eventOverdue", next, now, "event due before the current cycle")
+	}
+
+	// Policy accounting.
+	if p, ok := s.Pol.(sm.SelfAuditing); ok {
+		for _, acc := range p.AuditAccounting(s) {
+			if acc.Value != acc.Expected {
+				return fail("policy:"+acc.Name, int64(acc.Value), int64(acc.Expected), "")
+			}
+			if acc.Value < acc.Min || acc.Value > acc.Max {
+				return fail("policy:"+acc.Name, int64(acc.Value), int64(acc.Expected),
+					fmt.Sprintf("outside [%d, %d]", acc.Min, acc.Max))
+			}
+		}
+	}
+	return nil
+}
+
+// DumpSM renders the SM's counters and resident/warp state for violation
+// reports.
+func DumpSM(s *sm.SM, now int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SM%d @%d: active=%d pending=%d warpsUsed=%d threadsUsed=%d awake=%d shmem=%d nextEvent=%d\n",
+		s.ID, now, s.ActiveCTAs(), s.PendingCTAs(), s.WarpsUsed(), s.ThreadsUsed(),
+		s.AwakeWarps(), s.SharedMemUsed(), s.NextEventAt())
+	for _, c := range s.Residents() {
+		fmt.Fprintf(&b, "  CTA%d state=%d stalled=%d bar=%d finished=%d ready=%d %s\n",
+			c.ID, c.State, c.StalledWarps(), c.BarWaiting(), c.FinishedWarps(), c.ReadyAt,
+			c.DebugWarps())
+	}
+	if p, ok := s.Pol.(sm.SelfAuditing); ok {
+		for _, acc := range p.AuditAccounting(s) {
+			fmt.Fprintf(&b, "  %s: %s=%d expected=%d range=[%d,%d]\n",
+				s.Pol.Name(), acc.Name, acc.Value, acc.Expected, acc.Min, acc.Max)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,223 @@
+package audit_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"finereg/internal/audit"
+	"finereg/internal/kernels"
+	"finereg/internal/mem"
+	"finereg/internal/regfile"
+	"finereg/internal/sm"
+)
+
+const farFuture = int64(1) << 62
+
+// disp mirrors gpu's grid dispatcher for single-SM rigs.
+type disp struct{ next, total int }
+
+func (d *disp) NextCTAID() int {
+	if d.next >= d.total {
+		return -1
+	}
+	id := d.next
+	d.next++
+	return id
+}
+
+func (d *disp) Remaining() int { return d.total - d.next }
+
+// rig is one SM running a real benchmark kernel under the VT policy
+// (launch + stall + switch + resume + finish transitions all fire).
+type rig struct {
+	s *sm.SM
+	d *disp
+}
+
+func newRig(t *testing.T, grid int) *rig {
+	t.Helper()
+	p, err := kernels.ProfileByName("CS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernels.Build(p, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sm.Default()
+	hier := mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies())
+	d := &disp{total: grid}
+	s := sm.New(0, cfg, hier, d, regfile.NewVirtualThread(cfg, hier))
+	s.BindKernel(k, 0)
+	return &rig{s: s, d: d}
+}
+
+// run advances the rig like gpu.Run does, invoking step after every event
+// round, until the grid drains or step asks to stop. Returns the final
+// cycle.
+func (r *rig) run(t *testing.T, step func(now int64) bool) int64 {
+	t.Helper()
+	var now int64
+	for {
+		next, _ := r.s.Tick(now)
+		if step != nil && !step(now) {
+			return now
+		}
+		if len(r.s.Residents()) == 0 && r.d.Remaining() == 0 {
+			return now
+		}
+		if next == farFuture {
+			t.Fatalf("rig deadlocked at cycle %d", now)
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+		if now > 50_000_000 {
+			t.Fatalf("rig runaway at cycle %d", now)
+		}
+	}
+}
+
+// TestCheckSMCleanRun audits every event step of an unmodified run; no
+// invariant may fire, from kernel start through the drained end state.
+func TestCheckSMCleanRun(t *testing.T) {
+	r := newRig(t, 48)
+	steps := 0
+	end := r.run(t, func(now int64) bool {
+		if err := audit.CheckSM(r.s, now); err != nil {
+			t.Fatalf("step %d: %v", steps, err)
+		}
+		steps++
+		return true
+	})
+	if steps < 100 {
+		t.Fatalf("run too short to be meaningful: %d steps", steps)
+	}
+	if err := audit.CheckSM(r.s, end); err != nil {
+		t.Errorf("drained SM fails audit: %v", err)
+	}
+}
+
+// TestSkewCaught is the acceptance-criterion mutation test: each seeded
+// off-by-one in an occupancy counter must be caught by CheckSM under its
+// own rule name, and reverting the skew must restore a clean audit.
+func TestSkewCaught(t *testing.T) {
+	counters := []string{
+		"warpsUsed", "threadsUsed", "shmemUsed", "awake", "activeCTAs", "pendingCTAs",
+	}
+	r := newRig(t, 48)
+	// Advance mid-kernel so every counter is live; audit at the cycle the
+	// run stopped on (events beyond it are legitimately still queued).
+	at := r.run(t, func(now int64) bool { return now < 5000 })
+	if r.s.ActiveCTAs() == 0 {
+		t.Fatal("rig has no active CTAs mid-run")
+	}
+	for _, c := range counters {
+		c := c
+		t.Run(c, func(t *testing.T) {
+			r.s.InjectAccountingSkew(c, -1)
+			err := audit.CheckSM(r.s, at)
+			r.s.InjectAccountingSkew(c, +1)
+			var v *audit.Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("skewed %s: want *audit.Violation, got %v", c, err)
+			}
+			if v.Rule != c {
+				t.Errorf("skewed %s: violation blames rule %q", c, v.Rule)
+			}
+			if v.Got != v.Want-1 {
+				t.Errorf("skewed %s: got=%d want=%d, expected off-by-one", c, v.Got, v.Want)
+			}
+			if v.Dump == "" {
+				t.Errorf("skewed %s: violation carries no state dump", c)
+			}
+			if err := audit.CheckSM(r.s, at); err != nil {
+				t.Errorf("after reverting %s skew: %v", c, err)
+			}
+		})
+	}
+}
+
+// TestAuditorStepTriggering drives the Auditor itself: the first step
+// sweeps unconditionally, an injected skew is caught by the periodic
+// sweep even when no lifecycle transition accompanies it, and Final
+// reports leaks on a drained machine.
+func TestAuditorStepTriggering(t *testing.T) {
+	r := newRig(t, 48)
+	a := audit.New(64)
+	sms := []*sm.SM{r.s}
+
+	var stepErr error
+	end := r.run(t, func(now int64) bool {
+		if stepErr = a.Step(sms, now); stepErr != nil {
+			return false
+		}
+		return true
+	})
+	if stepErr != nil {
+		t.Fatalf("clean run: %v", stepErr)
+	}
+	if err := a.Final(sms, end); err != nil {
+		t.Fatalf("drained machine fails Final: %v", err)
+	}
+
+	// A skew with no accompanying transition must still be caught once the
+	// interval elapses.
+	r.s.InjectAccountingSkew("awake", 1)
+	defer r.s.InjectAccountingSkew("awake", -1)
+	var err error
+	for now := end + 1; now < end+200; now++ {
+		if err = a.Step(sms, now); err != nil {
+			break
+		}
+	}
+	var v *audit.Violation
+	if !errors.As(err, &v) || v.Rule != "awake" {
+		t.Fatalf("periodic sweep missed the skew: %v", err)
+	}
+	if !errors.As(a.Final(sms, end+200), &v) {
+		t.Fatal("Final missed the skew")
+	}
+}
+
+// TestDefaultInterval pins New's clamping.
+func TestDefaultInterval(t *testing.T) {
+	if a := audit.New(0); a.Interval != audit.DefaultInterval {
+		t.Errorf("New(0).Interval = %d, want %d", a.Interval, audit.DefaultInterval)
+	}
+	if a := audit.New(7); a.Interval != 7 {
+		t.Errorf("New(7).Interval = %d", a.Interval)
+	}
+}
+
+// TestViolationRendering checks the error string carries the rule, the
+// values, the detail, and the dump.
+func TestViolationRendering(t *testing.T) {
+	v := &audit.Violation{SM: 3, Cycle: 99, Rule: "warpsUsed", Got: 7, Want: 8,
+		Detail: "CTA 5", Dump: "SM3 @99: ..."}
+	msg := v.Error()
+	for _, want := range []string{"SM3", "cycle 99", "warpsUsed", "= 7", "want 8", "CTA 5", "SM3 @99"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message lacks %q: %s", want, msg)
+		}
+	}
+}
+
+// TestDumpSM wants a non-empty render with per-CTA lines and the policy
+// accounting section while CTAs are resident.
+func TestDumpSM(t *testing.T) {
+	r := newRig(t, 48)
+	r.run(t, func(now int64) bool { return now < 2000 })
+	if len(r.s.Residents()) == 0 {
+		t.Fatal("no residents to dump")
+	}
+	dump := audit.DumpSM(r.s, 2000)
+	if !strings.Contains(dump, "CTA") {
+		t.Errorf("dump lacks CTA lines:\n%s", dump)
+	}
+	if !strings.Contains(dump, "regsFree") {
+		t.Errorf("dump lacks policy accounting:\n%s", dump)
+	}
+}

@@ -1,0 +1,180 @@
+package diff
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"finereg/internal/audit"
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/mem"
+	"finereg/internal/regfile"
+	"finereg/internal/runner"
+	"finereg/internal/sm"
+)
+
+// TestCrossPolicyInvariance is the standalone instruction-count invariance
+// check over real Table II benchmarks: one scheduler-limited and two
+// register-limited workloads, each run under all six policies and both
+// schedulers with the auditor on. Grids are small but large enough that
+// the switching policies actually park and resume CTAs.
+func TestCrossPolicyInvariance(t *testing.T) {
+	cases := []struct {
+		bench string
+		grid  int
+	}{
+		{"CS", 40},
+		{"LB", 16},
+		{"SG", 16},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.bench, func(t *testing.T) {
+			t.Parallel()
+			p, err := kernels.ProfileByName(tc.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs, err := RunMatrix(Config(2), p, tc.grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(outs) != 2*len(Policies()) {
+				t.Fatalf("matrix has %d outcomes, want %d", len(outs), 2*len(Policies()))
+			}
+			if err := CheckInvariance(outs); err != nil {
+				t.Error(err)
+			}
+			for _, o := range outs {
+				if o.Counts.Instructions <= 0 {
+					t.Errorf("%s: no instructions executed", o.Label)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayDeterminism runs the identical job through two fresh engines
+// and requires bit-identical metrics: the simulator must be a pure
+// function of the job description.
+func TestReplayDeterminism(t *testing.T) {
+	p, err := kernels.ProfileByName("CS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := func() *runner.Job {
+		return &runner.Job{Cfg: Config(2), Profile: p, Grid: 24, Policy: runner.FineRegDefault()}
+	}
+	run := func() *runner.Result {
+		eng := &runner.Engine{Cache: runner.NewCache("")}
+		batch := eng.Run([]*runner.Job{job()})
+		if batch.Errs[0] != nil {
+			t.Fatal(batch.Errs[0])
+		}
+		return batch.Results[0]
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Errorf("replay diverged:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestRandomProfilesBuildable feeds a spread of seeds through the profile
+// generator and requires every one to pass the kernel builder's
+// constraint checks.
+func TestRandomProfilesBuildable(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		p := RandomProfile(seed)
+		if _, err := kernels.Build(p, 8); err != nil {
+			t.Errorf("seed %d: %+v: %v", seed, p, err)
+		}
+	}
+}
+
+// TestRandomProfileDeterministic pins the seed→profile mapping: the fuzz
+// corpus stores seeds, so the derivation must never drift silently.
+func TestRandomProfileDeterministic(t *testing.T) {
+	if a, b := RandomProfile(42), RandomProfile(42); a != b {
+		t.Errorf("same seed, different profiles:\n%+v\n%+v", a, b)
+	}
+	if a, b := RandomProfile(1), RandomProfile(2); a == b {
+		t.Error("different seeds produced identical profiles")
+	}
+}
+
+// TestDifferentialRandomKernels is the property test behind the fuzz
+// harness: random kernels must execute the same instruction stream under
+// every policy×scheduler combination, audited.
+func TestDifferentialRandomKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential matrix sweep skipped in -short")
+	}
+	for _, seed := range []uint64{3, 0x5eed, 0xbeef} {
+		p := RandomProfile(seed)
+		outs, err := RunMatrix(Config(2), p, p.GridCTAs)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckInvariance(outs); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// leakyBaseline seeds the acceptance-criterion mutation: it behaves as the
+// baseline policy but skips the register release when a CTA finishes, so
+// the maintained regsFree drifts below the value recomputed from the
+// resident set. The auditor must catch this through gpu.Run's error path
+// at the first CTA-finish transition.
+type leakyBaseline struct {
+	*regfile.Baseline
+}
+
+func (l *leakyBaseline) OnCTAFinished(s *sm.SM, c *sm.CTA, now int64) {}
+
+func (l *leakyBaseline) Name() string { return "leaky-baseline" }
+
+func TestAuditorCatchesLeakyPolicy(t *testing.T) {
+	p, err := kernels.ProfileByName("CS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernels.Build(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := func(cfg sm.Config, hier *mem.Hierarchy) sm.Policy {
+		return &leakyBaseline{regfile.NewBaseline(cfg)}
+	}
+	g := gpu.New(Config(2), pf)
+	_, err = g.Run(k)
+	if err == nil {
+		t.Fatal("leaky policy ran to completion unaudited")
+	}
+	var v *audit.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want *audit.Violation, got %T: %v", err, err)
+	}
+	if v.Rule != "policy:regsFree" {
+		t.Errorf("violation rule = %q, want policy:regsFree", v.Rule)
+	}
+	if !strings.Contains(v.Error(), "leaky-baseline") {
+		t.Errorf("violation dump lacks the policy accounting section:\n%s", v.Error())
+	}
+}
+
+// TestAuditChangesJobKey pins the cache-identity property: an audited and
+// an unaudited run of the same point must never share a cache entry.
+func TestAuditChangesJobKey(t *testing.T) {
+	p, err := kernels.ProfileByName("CS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &runner.Job{Cfg: gpu.Default().Scale(2), Profile: p, Grid: 8, Policy: runner.Baseline()}
+	audited := &runner.Job{Cfg: Config(2), Profile: p, Grid: 8, Policy: runner.Baseline()}
+	if plain.Key(runner.SimFingerprint) == audited.Key(runner.SimFingerprint) {
+		t.Error("audited and unaudited jobs share a key")
+	}
+}

@@ -1,0 +1,33 @@
+package diff
+
+import "testing"
+
+// FuzzDifferential explores the random-kernel space: each input seed
+// derives a profile (RandomProfile is total — every uint64 maps to a
+// buildable kernel) and runs the full audited policy×scheduler matrix.
+// Two distinct failure modes surface here: an audit violation inside any
+// single run, and a cross-policy divergence of the invariant counts.
+//
+// Run with `go test -fuzz=FuzzDifferential ./internal/audit/diff` to
+// explore beyond the seed corpus; plain `go test` replays the corpus.
+func FuzzDifferential(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(0x5eed))
+	f.Add(uint64(0xdecaf))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		p := RandomProfile(seed)
+		// Cap the grid so a pathological seed stays fuzz-fast; the matrix
+		// is 12 audited simulations per input.
+		grid := p.GridCTAs
+		if grid > 12 {
+			grid = 12
+		}
+		outs, err := RunMatrix(Config(2), p, grid)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		if err := CheckInvariance(outs); err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+	})
+}

@@ -48,6 +48,13 @@ type FineReg struct {
 	blocked      bool
 	blockedSince int64
 
+	// launchHoldUntil pauses fresh CTA launches after a PCRF depletion
+	// event: the free-space monitor (Figure 11) has just signalled
+	// overflow, so admitting another CTA — whose own eventual eviction
+	// needs the same space — would only deepen the block. Swaps with
+	// already-pending CTAs stay allowed (they free as much as they take).
+	launchHoldUntil int64
+
 	// DepletionEvents counts switch attempts rejected for lack of PCRF
 	// space (Figure 14 diagnostics).
 	DepletionEvents int64
@@ -96,6 +103,7 @@ func (f *FineReg) KernelStart(s *sm.SM, now int64) {
 	f.rmu.Reset()
 	f.mon.Reset()
 	f.blocked = false
+	f.launchHoldUntil = 0
 	f.slotFree = f.slotFree[:0]
 	for i := MonitorSlots - 1; i >= 0; i-- {
 		f.slotFree = append(f.slotFree, i)
@@ -165,6 +173,22 @@ func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
 	if in != nil {
 		space += f.info(in).chainLen
 	}
+	if in == nil {
+		// Free-space-monitor admission control (Figure 11): a fresh
+		// launch grows the CTA population for good, so the monitor holds
+		// back when the file is near overflow. Sub-granule live sets
+		// imply a large CTA population whose eviction bursts fill the
+		// file faster than the coarse occupancy count reacts, so those
+		// launches must leave a granule of slack beyond the eviction at
+		// hand; a chain of a granule or more is individually visible to
+		// the monitor and is admitted exactly, with the post-overflow
+		// hold below as the backstop. Swaps are always exempt: they free
+		// as many entries as they consume.
+		granule := f.pcrf.Entries() / 16
+		if now < f.launchHoldUntil || (live < granule && space-live < granule) {
+			return
+		}
+	}
 	if live > space {
 		// Section V-B: the stalled CTA must remain in the ACRF until the
 		// PCRF drains — the register-depletion stall of Figure 14.
@@ -173,6 +197,10 @@ func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
 			f.blockedSince = now
 		}
 		f.DepletionEvents++
+		// Overflow means the CTA population has outgrown the PCRF; hold
+		// fresh launches for one memory round-trip so pending chains can
+		// drain back out instead of piling more CTAs onto a full file.
+		f.launchHoldUntil = now + f.hier.DRAM.LatencyCycles
 		return
 	}
 	if in != nil {
@@ -183,21 +211,32 @@ func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
 		inInfo.head, inInfo.chainLen = -1, 0
 		evictBv := f.bitvecDelay(s, c, now)
 		f.evictStore(s, c, now)
-		// Restore and eviction stream through the arbitrator
+		// The status monitor initiates the bit-vector lookups the moment
+		// it detects the full stall (Section V-B), so an RMU miss fetch
+		// proceeds while the outgoing CTA's pipeline drains: the register
+		// readout is gated on the slower of the two, not their sum.
+		// Restore and eviction then stream through the arbitrator
 		// concurrently (Section V-E); warps of the incoming CTA become
 		// eligible as soon as their own live registers have been read
 		// back, so the visible delay is one warp's worth of chain.
-		lat := evictBv + restoreLat(len(restored), s.Meta().WarpsPerCTA())
+		lat := max(evictBv, f.cfg.SwitchDrainLat) + restoreLat(len(restored), s.Meta().WarpsPerCTA())
 		f.acrfFree -= in.RegCost
 		f.mon.Set(inInfo.slot, CtxPipeline, RegACRF)
-		s.Reactivate(in, now, lat+f.cfg.SwitchDrainLat)
+		s.Reactivate(in, now, lat)
 		if t := s.Trace(); t != nil {
 			t.RegTransfer(s.ID, in.ID, trace.XferRestoreFromPCRF, len(restored), len(restored)*sm.WarpRegBytes, now)
 		}
 	} else {
 		evictBv := f.bitvecDelay(s, c, now)
-		evictLat := evictBv + f.evictStore(s, c, now)
-		if nc := s.LaunchNew(now, evictLat+f.cfg.SwitchDrainLat); nc != nil {
+		f.evictStore(s, c, now)
+		// Same overlap as above: the miss fetch races the pipeline drain.
+		// The fresh CTA's registers are zero-initialized into ACRF banks
+		// as the outgoing chain streams to the PCRF, so — as in the swap
+		// path — the first incoming warp waits one warp's share of the
+		// pipelined eviction, not the whole chain.
+		evictLat := max(evictBv, f.cfg.SwitchDrainLat) +
+			restoreLat(c.LiveRegs, s.Meta().WarpsPerCTA())
+		if nc := s.LaunchNew(now, evictLat); nc != nil {
 			f.adopt(nc)
 		}
 	}
@@ -373,3 +412,38 @@ func (f *FineReg) stalledActive(s *sm.SM) *sm.CTA {
 
 // ACRFFree exposes the free ACRF warp-registers (tests/diagnostics).
 func (f *FineReg) ACRFFree() int { return f.acrfFree }
+
+// AuditAccounting implements sm.SelfAuditing. The PCRF ground truth is
+// recomputed through the tag structure itself: each pending CTA's chain is
+// walked (read-only) from its head, so a leaked or double-released chain
+// shows up as a free-count mismatch. The status monitor is cross-checked
+// against the CTA states by counting residents whose 2+2-bit encoding
+// matches their sm.CTAState.
+func (f *FineReg) AuditAccounting(s *sm.SM) []sm.AuditAccount {
+	acrfTotal := f.ACRFBytes / sm.WarpRegBytes
+	acrfHeld, chained, monOK := 0, 0, 0
+	for _, c := range s.Residents() {
+		info := f.info(c)
+		switch c.State {
+		case sm.CTAActive:
+			acrfHeld += c.RegCost
+			if f.mon.IsActive(info.slot) {
+				monOK++
+			}
+		case sm.CTAPendingPCRF:
+			chained += f.pcrf.ChainLen(info.head)
+			if cl, rl := f.mon.Get(info.slot); cl == CtxSharedMem && rl == RegPCRF {
+				monOK++
+			}
+		}
+	}
+	return []sm.AuditAccount{
+		{Name: "acrfFree", Value: f.acrfFree, Expected: acrfTotal - acrfHeld, Min: 0, Max: acrfTotal},
+		{Name: "pcrfFree", Value: f.pcrf.Free(), Expected: f.pcrf.Entries() - chained,
+			Min: 0, Max: f.pcrf.Entries()},
+		{Name: "monitorSlotsFree", Value: len(f.slotFree), Expected: MonitorSlots - len(s.Residents()),
+			Min: 0, Max: MonitorSlots},
+		{Name: "monitorConsistent", Value: monOK, Expected: len(s.Residents()),
+			Min: 0, Max: MonitorSlots},
+	}
+}

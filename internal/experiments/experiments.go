@@ -35,6 +35,10 @@ type Options struct {
 	// with a cache across experiments to dedup repeated points between
 	// figures — finereg-experiments does exactly that.
 	Runner *runner.Engine
+	// Audit enables the runtime invariant auditor (internal/audit) on
+	// every simulation. Audited and unaudited runs cache separately (the
+	// flag is part of gpu.Config and therefore of the job key).
+	Audit bool
 }
 
 // Paper returns the full-scale configuration of Table I.
@@ -51,7 +55,11 @@ func (o Options) benchNames() []string {
 	return kernels.Names()
 }
 
-func (o Options) config() gpu.Config { return gpu.Default().Scale(o.SMs) }
+func (o Options) config() gpu.Config {
+	cfg := gpu.Default().Scale(o.SMs)
+	cfg.Audit = o.Audit
+	return cfg
+}
 
 func (o Options) grid(p *kernels.Profile) int {
 	g := int(float64(p.GridCTAs)*o.GridScale + 0.5)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"finereg/internal/audit"
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
 	"finereg/internal/sm"
@@ -32,6 +33,17 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations (0 = default guard).
 	MaxCycles int64
+
+	// Audit enables the runtime invariant auditor (internal/audit): SM
+	// occupancy counters and per-policy register accounting are re-derived
+	// from first principles every AuditInterval cycles and at every CTA
+	// lifecycle transition. A violation aborts Run with a typed
+	// *audit.Violation carrying a full state dump. Part of the runner.Job
+	// key (audited and unaudited runs are distinct cache entries).
+	Audit bool
+	// AuditInterval overrides the periodic sweep period in cycles
+	// (0 = audit.DefaultInterval). Transitions are audited regardless.
+	AuditInterval int64
 }
 
 // Default returns the Table I machine.
@@ -146,6 +158,11 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 		g.sink.RunStart(k.Name(), len(g.SMs))
 	}
 
+	var auditor *audit.Auditor
+	if g.Cfg.Audit {
+		auditor = audit.New(g.Cfg.AuditInterval)
+	}
+
 	var now int64
 	var residentInt, activeInt, threadsInt float64
 
@@ -162,6 +179,11 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 			}
 			if len(s.Residents()) > 0 {
 				anyResident = true
+			}
+		}
+		if auditor != nil {
+			if err := auditor.Step(g.SMs, now); err != nil {
+				return nil, err
 			}
 		}
 		if !anyResident && g.disp.Remaining() == 0 {
@@ -185,6 +207,13 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 		}
 	}
 
+	if auditor != nil {
+		// End-of-run leak check: with the grid drained, every counter must
+		// read empty and every policy account fully free.
+		if err := auditor.Final(g.SMs, now); err != nil {
+			return nil, err
+		}
+	}
 	if g.sink != nil {
 		g.sink.RunEnd(now)
 	}

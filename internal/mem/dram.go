@@ -1,5 +1,7 @@
 package mem
 
+import "math"
+
 // TrafficClass labels off-chip transfers for the Figure 15 breakdown.
 type TrafficClass uint8
 
@@ -38,7 +40,11 @@ func (d *DRAM) Access(now int64, bytes int, class TrafficClass) int64 {
 	}
 	service := float64(bytes) / d.BytesPerCycle
 	d.nextFree = start + service
-	return int64(start+service) + d.LatencyCycles
+	// Round the completion cycle up: a transfer occupying any fraction of a
+	// cycle is not done until that cycle ends. Truncation let sub-cycle
+	// transfers finish up to a cycle early (nextFree keeps the exact
+	// fractional time so back-to-back backlog accounting stays precise).
+	return int64(math.Ceil(start+service)) + d.LatencyCycles
 }
 
 // QueueDelay returns how long a request issued now would wait for the

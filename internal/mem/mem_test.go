@@ -95,8 +95,8 @@ func TestCacheFitsWorkingSetQuick(t *testing.T) {
 func TestDRAMLatencyAndQueueing(t *testing.T) {
 	d := &DRAM{LatencyCycles: 400, BytesPerCycle: 256}
 	t1 := d.Access(0, 128, TrafficDemand)
-	if t1 != 400 {
-		t.Errorf("first access completes at %d, want 400 (latency + 0.5 cycle service)", t1)
+	if t1 != 401 {
+		t.Errorf("first access completes at %d, want 401 (latency + 0.5 cycle service, rounded up)", t1)
 	}
 	// Saturate the channel: 100 back-to-back lines serialize at 0.5
 	// cycles each.
@@ -269,5 +269,33 @@ func TestHierarchyTransfer(t *testing.T) {
 	}
 	if h.DRAM.Bytes(TrafficContext) != 4096 {
 		t.Errorf("context bytes = %d, want 4096", h.DRAM.Bytes(TrafficContext))
+	}
+}
+
+// TestDRAMSubCycleRounding is the regression test for the truncation bug:
+// completion cycles must round up (a transfer occupying any fraction of a
+// cycle is not done until that cycle ends), while the channel backlog
+// keeps exact fractional time so back-to-back accounting stays precise.
+func TestDRAMSubCycleRounding(t *testing.T) {
+	d := &DRAM{LatencyCycles: 0, BytesPerCycle: 313}
+	// 128 B at 313 B/cycle = 0.409 cycles of service: truncation returned
+	// 100 — completing before any channel time elapsed.
+	if got := d.Access(100, 128, TrafficDemand); got != 101 {
+		t.Errorf("first sub-cycle access completes at %d, want 101", got)
+	}
+	// Backlog is fractional: the second transfer ends at 100.818, still
+	// within cycle 101 — the rounding must not double-charge.
+	if got := d.Access(100, 128, TrafficDemand); got != 101 {
+		t.Errorf("second sub-cycle access completes at %d, want 101", got)
+	}
+	// The third crosses into cycle 102 (ends at 101.227).
+	if got := d.Access(100, 128, TrafficDemand); got != 102 {
+		t.Errorf("third sub-cycle access completes at %d, want 102", got)
+	}
+
+	// Exact whole-cycle service must not be rounded further.
+	d2 := &DRAM{LatencyCycles: 0, BytesPerCycle: 313}
+	if got := d2.Access(100, 313, TrafficDemand); got != 101 {
+		t.Errorf("whole-cycle access completes at %d, want 101", got)
 	}
 }

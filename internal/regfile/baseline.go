@@ -65,3 +65,16 @@ func (b *Baseline) BlockedOnRegisters() bool { return false }
 // RegsFree exposes the remaining register capacity (tests, Figure 4's
 // active-thread accounting).
 func (b *Baseline) RegsFree() int { return b.regsFree }
+
+// AuditAccounting implements sm.SelfAuditing: every resident CTA holds its
+// full static allocation for its lifetime.
+func (b *Baseline) AuditAccounting(s *sm.SM) []sm.AuditAccount {
+	total := b.cfg.TotalWarpRegs()
+	held := 0
+	for _, c := range s.Residents() {
+		held += c.RegCost
+	}
+	return []sm.AuditAccount{
+		{Name: "regsFree", Value: b.regsFree, Expected: total - held, Min: 0, Max: total},
+	}
+}

@@ -55,12 +55,16 @@ func (r *RegDRAM) KernelStart(s *sm.SM, now int64) {
 // channel has slack and a minimum interval has passed since this SM's last
 // context transfer. Without pacing, stall-rate context swapping saturates
 // the channel and starves demand traffic — the degenerate behaviour the
-// paper's Figure 15 analysis warns about.
+// paper's Figure 15 analysis warns about. The slack test is size-aware:
+// what must fit under the threshold is the channel's backlog plus this
+// transfer's own service time, so a full 27 KB context is admitted under
+// strictly less pre-existing backlog than a small one.
 func (r *RegDRAM) dmaAllowed(bytes int, now int64) bool {
 	if now < r.nextDMA {
 		return false
 	}
-	return r.hier.DRAM.QueueDelay(now) <= float64(10*r.cfg.SwitchDrainLat)
+	service := float64(bytes) / r.hier.DRAM.BytesPerCycle
+	return r.hier.DRAM.QueueDelay(now)+service <= float64(10*r.cfg.SwitchDrainLat)
 }
 
 // chargeDMA advances the pacing window after a context transfer.
@@ -262,4 +266,24 @@ func (r *RegDRAM) BlockedOnRegisters() bool { return false }
 func (r *RegDRAM) spillCost(bytes int, now int64) int64 {
 	return int64(float64(2*bytes)/r.hier.DRAM.BytesPerCycle+r.hier.DRAM.QueueDelay(now)) +
 		2*r.cfg.SwitchDrainLat
+}
+
+// AuditAccounting implements sm.SelfAuditing: active and in-RF pending CTAs
+// hold their full allocation; DRAM-pending CTAs hold none but occupy the
+// bounded off-chip pool.
+func (r *RegDRAM) AuditAccounting(s *sm.SM) []sm.AuditAccount {
+	total := r.cfg.TotalWarpRegs()
+	held, offChip := 0, 0
+	for _, c := range s.Residents() {
+		switch c.State {
+		case sm.CTAActive, sm.CTAPendingRF:
+			held += c.RegCost
+		case sm.CTAPendingDRAM:
+			offChip++
+		}
+	}
+	return []sm.AuditAccount{
+		{Name: "regsFree", Value: r.regsFree, Expected: total - held, Min: 0, Max: total},
+		{Name: "dramUsed", Value: r.dramUsed, Expected: offChip, Min: 0, Max: r.DRAMCap},
+	}
 }

@@ -213,3 +213,49 @@ func TestRegMutexSRPFracClamped(t *testing.T) {
 		t.Errorf("huge SRP fraction should clamp to 0.9, got %v", p.SRPFrac)
 	}
 }
+
+// TestRegDRAMDMAAllowedSizeAware is the regression test for the size-blind
+// slack check: admission must account for the transfer's own service time,
+// not just the pre-existing channel backlog, so a full CTA context is
+// denied under backlog a small transfer still clears.
+func TestRegDRAMDMAAllowedSizeAware(t *testing.T) {
+	cfg := sm.Default() // SwitchDrainLat 30 → slack threshold 300 cycles
+	hier := mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies())
+	r := NewRegDRAM(cfg, hier, 4)
+
+	const (
+		small = 256      // sub-cycle service at 313 B/cycle
+		full  = 27 << 10 // a full CTA context: ~88 cycles of service
+	)
+
+	// Empty channel: both sizes admitted.
+	if !r.dmaAllowed(small, 0) || !r.dmaAllowed(full, 0) {
+		t.Fatal("empty channel must admit both transfer sizes")
+	}
+
+	// 250 cycles of backlog: 250 + 0.8 clears the 300-cycle threshold,
+	// 250 + 88 does not. The old size-blind check admitted both.
+	hier.DRAM.Access(0, 250*313, mem.TrafficDemand)
+	if !r.dmaAllowed(small, 0) {
+		t.Error("small transfer denied under moderate backlog")
+	}
+	if r.dmaAllowed(full, 0) {
+		t.Error("full context admitted although backlog + its own service exceeds the threshold")
+	}
+
+	// Saturated channel (~350 cycles of backlog): everything is denied.
+	hier.DRAM.Access(0, 100*313, mem.TrafficDemand)
+	if r.dmaAllowed(small, 0) {
+		t.Error("small transfer admitted on a saturated channel")
+	}
+
+	// The pacing window denies regardless of channel state; once it and
+	// the backlog have both passed, transfers flow again.
+	r.nextDMA = 1000
+	if r.dmaAllowed(small, 999) {
+		t.Error("transfer admitted inside the pacing window")
+	}
+	if !r.dmaAllowed(full, 1000) {
+		t.Error("transfer denied after backlog and pacing window elapsed")
+	}
+}

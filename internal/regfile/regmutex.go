@@ -212,3 +212,22 @@ func (r *RegMutex) BlockedOnRegisters() bool { return r.blocked }
 
 // SRPInUse returns the currently granted SRP warp-registers (tests).
 func (r *RegMutex) SRPInUse() int { return r.srpTotal - r.srpFree }
+
+// AuditAccounting implements sm.SelfAuditing. brsFree is checked against
+// the resident count times the per-CTA BRS cost. srpFree is checked as the
+// conservation identity srpTotal - Σ grants; its lower bound is widened to
+// the total granted amount because the emergency overdraft in AllowIssue
+// deliberately drives srpFree negative to break allocation deadlock.
+func (r *RegMutex) AuditAccounting(s *sm.SM) []sm.AuditAccount {
+	brsTotal := r.cfg.TotalWarpRegs() - r.srpTotal
+	granted := 0
+	for _, g := range r.grants {
+		granted += g
+	}
+	return []sm.AuditAccount{
+		{Name: "brsFree", Value: r.brsFree, Expected: brsTotal - r.brsCost(s)*len(s.Residents()),
+			Min: 0, Max: brsTotal},
+		{Name: "srpFree", Value: r.srpFree, Expected: r.srpTotal - granted,
+			Min: -granted, Max: r.srpTotal},
+	}
+}

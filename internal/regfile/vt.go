@@ -106,6 +106,20 @@ func (v *VirtualThread) BlockedOnRegisters() bool { return false }
 // RegsFree exposes remaining register capacity for tests.
 func (v *VirtualThread) RegsFree() int { return v.regsFree }
 
+// AuditAccounting implements sm.SelfAuditing: active and pending residents
+// alike keep their full allocation in the register file (parking moves only
+// the pipeline context).
+func (v *VirtualThread) AuditAccounting(s *sm.SM) []sm.AuditAccount {
+	total := v.cfg.TotalWarpRegs()
+	held := 0
+	for _, c := range s.Residents() {
+		held += c.RegCost
+	}
+	return []sm.AuditAccount{
+		{Name: "regsFree", Value: v.regsFree, Expected: total - held, Min: 0, Max: total},
+	}
+}
+
 // readyPending returns the oldest pending CTA in the given state whose
 // dependencies have resolved, or nil.
 func readyPending(s *sm.SM, st sm.CTAState, now int64) *sm.CTA {

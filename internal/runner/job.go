@@ -27,7 +27,10 @@ import (
 // of every job key, so bumping it invalidates all cached results at once;
 // bump it whenever a change to the timing model, kernel generation, or
 // metric collection can alter any simulation outcome.
-const SimFingerprint = "finereg-sim-v1"
+//
+// v2: DRAM completion cycles round up instead of truncating, and the LRR
+// scheduler became a true round-robin — both change timing everywhere.
+const SimFingerprint = "finereg-sim-v2"
 
 // Job is one schedulable simulation: a machine configuration, a kernel
 // profile and grid, a policy, and instrumentation flags. The zero-value

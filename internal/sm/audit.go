@@ -1,0 +1,110 @@
+package sm
+
+import "fmt"
+
+// This file is the SM's auditing surface: read-only accessors over the
+// private residency/scheduler state that internal/audit re-derives from
+// first principles, the policy-side self-auditing interface, and a test
+// hook for deliberately corrupting a counter to prove the auditor catches
+// drift. None of it is used on the simulation hot path.
+
+// AuditAccount is one policy-maintained resource counter paired with its
+// ground truth: Value is what the policy's incremental bookkeeping says,
+// Expected is the same quantity recomputed from the resident set, and
+// [Min, Max] is the legal range (capacity bounds). The auditor flags any
+// account where Value != Expected or Value leaves the range.
+type AuditAccount struct {
+	// Name identifies the counter in violation reports (e.g. "regsFree").
+	Name string
+	// Value is the policy's incrementally maintained count.
+	Value int
+	// Expected is the count recomputed from the resident set.
+	Expected int
+	// Min and Max bound the legal range (typically 0 and the capacity).
+	// Policies with deliberate oversubscription (RegMutex's emergency SRP
+	// overdraft) widen Min accordingly.
+	Min, Max int
+}
+
+// SelfAuditing is implemented by policies that expose their register
+// accounting to the auditor. The implementation must be read-only and may
+// assume it runs between Tick rounds (no transient mid-issue state).
+type SelfAuditing interface {
+	// AuditAccounting returns every resource account the policy maintains,
+	// with ground truth recomputed from s's resident set.
+	AuditAccounting(s *SM) []AuditAccount
+}
+
+// ---- State accessors (auditor-facing, read-only) ----
+
+// WarpsUsed returns the warp scheduling slots occupied by active CTAs'
+// non-exited warps.
+func (s *SM) WarpsUsed() int { return s.warpsUsed }
+
+// ThreadsUsed returns the thread slots occupied (32 per used warp slot).
+func (s *SM) ThreadsUsed() int { return s.threadsUsed }
+
+// SharedMemUsed returns the shared-memory bytes held by resident CTAs.
+func (s *SM) SharedMemUsed() int { return s.shmemUsed }
+
+// AwakeWarps returns the SM's awake counter: active, non-exited warps with
+// wakeAt <= now.
+func (s *SM) AwakeWarps() int { return s.awake }
+
+// EachSchedulerWarp visits every warp currently wired into a scheduler, in
+// scheduler then slot order.
+func (s *SM) EachSchedulerWarp(visit func(sid int, w *Warp)) {
+	for sid, ws := range s.schedWarps {
+		for _, w := range ws {
+			visit(sid, w)
+		}
+	}
+}
+
+// KernelBound reports whether BindKernel has run (the auditor needs the
+// program metadata for shared-memory ground truth).
+func (s *SM) KernelBound() bool { return s.meta != nil }
+
+// Asleep reports whether the warp is descheduled waiting on an event.
+func (w *Warp) Asleep() bool { return w.asleep }
+
+// AtBarrier reports whether the warp is parked at a CTA-wide barrier.
+func (w *Warp) AtBarrier() bool { return w.atBarrier }
+
+// LongBlocked reports whether the warp counts toward its CTA's stalled-warp
+// total (a block of at least Config.LongStall cycles).
+func (w *Warp) LongBlocked() bool { return w.longBlocked }
+
+// StalledWarps returns the CTA's long-blocked warp count.
+func (c *CTA) StalledWarps() int { return c.stalledWarps }
+
+// BarWaiting returns how many warps are parked at the CTA's barrier.
+func (c *CTA) BarWaiting() int { return c.barWaiting }
+
+// FinishedWarps returns how many of the CTA's warps have exited.
+func (c *CTA) FinishedWarps() int { return c.finishedWarps }
+
+// ---- Fault injection (tests only) ----
+
+// InjectAccountingSkew corrupts one of the SM's occupancy counters by
+// delta. It exists solely so tests can prove the auditor detects
+// bookkeeping drift (the "skipped warpsUsed--" class of bug); it has no
+// other callers. Unknown counter names panic.
+func (s *SM) InjectAccountingSkew(counter string, delta int) {
+	switch counter {
+	case "warpsUsed":
+		s.warpsUsed += delta
+	case "threadsUsed":
+		s.threadsUsed += delta
+	case "shmemUsed":
+		s.shmemUsed += delta
+	case "awake":
+		s.awake += delta
+	case "activeCTAs":
+		s.activeCTAs += delta
+	case "pendingCTAs":
+		s.pendingCTAs += delta
+	default:
+		panic(fmt.Sprintf("sm: InjectAccountingSkew: unknown counter %q", counter))
+	}
+}

@@ -576,10 +576,11 @@ func (s *SM) Tick(now int64) (next int64, issued int) {
 // pick selects the warp scheduler sid issues from, blocking (and sleeping)
 // warps whose dependencies are not ready.
 func (s *SM) pick(sid int, now int64) *Warp {
-	if s.Cfg.Scheduler == SchedGTO {
-		if g := s.greedy[sid]; g != nil && s.issueReady(g, now) {
-			return g
-		}
+	if s.Cfg.Scheduler == SchedLRR {
+		return s.pickLRR(sid, now)
+	}
+	if g := s.greedy[sid]; g != nil && s.issueReady(g, now) {
+		return g
 	}
 	var best *Warp
 	for _, w := range s.schedWarps[sid] {
@@ -591,14 +592,41 @@ func (s *SM) pick(sid int, now int64) *Warp {
 		}
 		if best == nil || w.Age < best.Age {
 			best = w
-			if s.Cfg.Scheduler == SchedLRR {
-				// LRR: first ready warp after the last greedy one; the
-				// simple approximation takes any ready warp.
+		}
+	}
+	return best
+}
+
+// pickLRR rotates through the scheduler's warp list: the scan starts just
+// after the last-issued warp (greedy[sid]) and wraps, so every ready warp
+// gets a turn before any warp issues twice. Starting from slot 0 every
+// cycle would permanently starve high-index warps whenever the low-index
+// ones stay ready.
+func (s *SM) pickLRR(sid int, now int64) *Warp {
+	ws := s.schedWarps[sid]
+	n := len(ws)
+	if n == 0 {
+		return nil
+	}
+	start := 0
+	if g := s.greedy[sid]; g != nil {
+		for i, w := range ws {
+			if w == g {
+				start = i + 1
 				break
 			}
 		}
 	}
-	return best
+	for i := 0; i < n; i++ {
+		w := ws[(start+i)%n]
+		if w.exited || w.wakeAt > now {
+			continue
+		}
+		if s.issueReady(w, now) {
+			return w
+		}
+	}
+	return nil
 }
 
 // issueReady checks scoreboard readiness; a dependency-blocked warp is put

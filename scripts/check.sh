@@ -17,3 +17,7 @@ go test -race -short -timeout 20m ./...
 # Run-engine gate: a parallel mini-sweep (4 workers + shared cache) under
 # the race detector, end to end through the experiments layer.
 go test -race -timeout 10m -run 'TestSweepParallelWithCache|TestSweepParallelDeterminism' ./internal/experiments/
+# Auditor gate: an audited end-to-end smoke sweep — every policy on a
+# compute-bound and a switch-heavy workload with the runtime invariant
+# auditor enabled (internal/audit); any violation fails the run.
+go run ./cmd/finereg-sim -sms 2 -bench CS,MC,LB -policy all -grid-scale 0.05 -audit >/dev/null
