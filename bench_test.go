@@ -228,6 +228,24 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
 }
 
+// BenchmarkSimulatorThroughput16SM is the same measurement at paper scale:
+// the full Table I machine (16 SMs) on the reference CS grid. This is the
+// configuration the event-driven run loop is judged on — with 16 SMs the
+// dense alternative pays 16 Ticks and 16 stats samples per global step
+// even when one SM has work.
+func BenchmarkSimulatorThroughput16SM(b *testing.B) {
+	cfg := DefaultConfig()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m, err := RunBenchmark(cfg, "CS", 0, FineReg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += m.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
 // BenchmarkSimulatorThroughputAudited is BenchmarkSimulatorThroughput with
 // the runtime invariant auditor enabled — the measured cost of auditing
 // every CTA lifecycle transition plus the periodic full sweeps. Compare the

@@ -8,6 +8,7 @@
 //	            [-sms 16] [-grid-scale 1.0] [-srp 0.25] [-dram-cap 4] [-v]
 //	            [-json | -csv] [-stalls] [-audit]
 //	            [-jobs N] [-cache-dir ''] [-no-cache] [-job-timeout 0]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -json and -csv replace the table with machine-readable output on stdout
 // (one record per benchmark × policy run, derived ratios included).
@@ -22,6 +23,10 @@
 // Rows always print in bench × policy order regardless of worker count. A
 // failing run no longer aborts the whole sweep: completed rows print, the
 // failures are reported on stderr, and the exit status is non-zero.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the simulation
+// batch (not flag parsing or output rendering); see EXPERIMENTS.md for the
+// analysis workflow.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 
 	"finereg/internal/gpu"
 	"finereg/internal/kernels"
+	"finereg/internal/prof"
 	"finereg/internal/runner"
 	"finereg/internal/stats"
 )
@@ -53,6 +59,8 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory ('' = no disk cache)")
 		noCache    = flag.Bool("no-cache", false, "disable the on-disk cache even if -cache-dir is set")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation batch to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation batch to this file")
 	)
 	flag.Parse()
 
@@ -100,7 +108,16 @@ func main() {
 		}
 	}
 
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "finereg-sim:", err)
+		os.Exit(1)
+	}
 	batch := eng.Run(jobList)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "finereg-sim:", err)
+		os.Exit(1)
+	}
 
 	tbl := &stats.Table{Header: []string{"bench/policy", "IPC", "cycles", "resident", "active", "switches", "dramKB"}}
 	var runs []*stats.Metrics

@@ -155,8 +155,11 @@ func (a *Auditor) Final(sms []*sm.SM, now int64) error {
 //	warp flags  an awake warp is schedulable (woken, active CTA, not
 //	            exited/parked); per-CTA stalledWarps/barWaiting/
 //	            finishedWarps match the per-warp flags
-//	schedulers  the scheduler lists hold exactly the warps of active CTAs,
-//	            each once; non-exited entries == warpsUsed
+//	schedulers  the scheduler lists hold exactly the live warps of active
+//	            CTAs, each once, sorted by wiring sequence; entry count ==
+//	            warpsUsed
+//	ready       the ready partitions hold exactly the awake warps, each
+//	            once, wired, seq-sorted; entry count == awake
 //	events      no event is due and unserviced (NextEventAt >= now)
 //	policy      every sm.SelfAuditing account matches its recomputed
 //	            ground truth and stays within [Min, Max]
@@ -251,11 +254,14 @@ func CheckSM(s *sm.SM, now int64) error {
 		return fail("shmemUsed", int64(s.SharedMemUsed()), int64(shmem), "")
 	}
 
-	// Scheduler lists: exactly the warps of active CTAs, each wired once;
-	// exited warps may linger until their CTA finishes, so the non-exited
-	// entry count is what must equal warpsUsed.
+	// Scheduler lists: exactly the live (non-exited) warps of active CTAs,
+	// each wired once — exitWarp compacts a retired warp out immediately,
+	// so an exited entry is a leak — kept sorted by wiring sequence (the
+	// order both schedulers scan in, and the invariant pickLRR's rotation
+	// anchor depends on).
 	seen := make(map[*sm.Warp]int)
 	listed := 0
+	lastSID, lastSeq := -1, int64(0)
 	var dup error
 	s.EachSchedulerWarp(func(sid int, w *sm.Warp) {
 		seen[w]++
@@ -267,21 +273,78 @@ func CheckSM(s *sm.SM, now int64) error {
 				fmt.Sprintf("CTA %d warp %d wired %d times", w.CTA.ID, w.Idx, seen[w]))
 			return
 		}
+		if w.Exited() {
+			dup = fail("schedulerExited", 1, 0,
+				fmt.Sprintf("scheduler %d holds exited warp %d of CTA %d", sid, w.Idx, w.CTA.ID))
+			return
+		}
 		if w.CTA.State != sm.CTAActive {
 			dup = fail("schedulerStale", int64(w.CTA.State), int64(sm.CTAActive),
 				fmt.Sprintf("scheduler %d holds warp of non-active CTA %d", sid, w.CTA.ID))
 			return
 		}
-		if !w.Exited() {
-			listed++
+		if sid == lastSID && w.SchedSeq() <= lastSeq {
+			dup = fail("schedulerOrder", w.SchedSeq(), lastSeq+1,
+				fmt.Sprintf("scheduler %d list not sorted by wiring sequence at CTA %d warp %d",
+					sid, w.CTA.ID, w.Idx))
+			return
 		}
+		lastSID, lastSeq = sid, w.SchedSeq()
+		listed++
 	})
 	if dup != nil {
 		return dup
 	}
 	if listed != warps {
 		return fail("schedulerCoverage", int64(listed), int64(warps),
-			"non-exited scheduler entries vs active-CTA warps")
+			"scheduler entries vs active-CTA warps")
+	}
+
+	// Ready partitions: per scheduler, exactly the awake subset of the
+	// wired warps, in the same wiring-sequence order. Together with the
+	// awake-count match this proves the partition holds every issue
+	// candidate exactly once — a warp missing here would silently never
+	// issue (the dense scan had no such failure mode; the partition makes
+	// it an auditable one).
+	readySeen := make(map[*sm.Warp]bool)
+	readyCount := 0
+	lastSID, lastSeq = -1, 0
+	s.EachReadyWarp(func(sid int, w *sm.Warp) {
+		if dup != nil {
+			return
+		}
+		if readySeen[w] {
+			dup = fail("readyDup", 2, 1,
+				fmt.Sprintf("CTA %d warp %d in ready partition twice", w.CTA.ID, w.Idx))
+			return
+		}
+		readySeen[w] = true
+		if seen[w] == 0 {
+			dup = fail("readyUnwired", 1, 0,
+				fmt.Sprintf("ready partition %d holds unwired warp %d of CTA %d", sid, w.Idx, w.CTA.ID))
+			return
+		}
+		if w.Asleep() || w.Exited() || w.CTA.State != sm.CTAActive {
+			dup = fail("readyStale", 1, 0,
+				fmt.Sprintf("ready partition %d holds unschedulable warp %d of CTA %d (asleep=%v exited=%v state=%d)",
+					sid, w.Idx, w.CTA.ID, w.Asleep(), w.Exited(), w.CTA.State))
+			return
+		}
+		if sid == lastSID && w.SchedSeq() <= lastSeq {
+			dup = fail("readyOrder", w.SchedSeq(), lastSeq+1,
+				fmt.Sprintf("ready partition %d not sorted by wiring sequence at CTA %d warp %d",
+					sid, w.CTA.ID, w.Idx))
+			return
+		}
+		lastSID, lastSeq = sid, w.SchedSeq()
+		readyCount++
+	})
+	if dup != nil {
+		return dup
+	}
+	if readyCount != awake {
+		return fail("readyCoverage", int64(readyCount), int64(awake),
+			"ready-partition entries vs awake warps")
 	}
 
 	// Event heap: Tick(now) drains everything due at or before now, and

@@ -140,6 +140,35 @@ func TestSkewCaught(t *testing.T) {
 	}
 }
 
+// TestReadySkewCaught is the mutation test for the ready-partition
+// invariants: dropping one entry (a missed readyAdd — the bug class where
+// a woken warp silently never issues again) must fire readyCoverage.
+func TestReadySkewCaught(t *testing.T) {
+	r := newRig(t, 48)
+	at := r.run(t, func(now int64) bool {
+		return now < 1000 || r.s.AwakeWarps() == 0
+	})
+	if r.s.AwakeWarps() == 0 {
+		t.Fatal("rig never reached a step with awake warps")
+	}
+	if err := audit.CheckSM(r.s, at); err != nil {
+		t.Fatalf("pre-skew audit not clean: %v", err)
+	}
+	if !r.s.InjectReadySkew() {
+		t.Fatal("no ready entry to drop despite awake warps")
+	}
+	var v *audit.Violation
+	if err := audit.CheckSM(r.s, at); !errors.As(err, &v) {
+		t.Fatalf("dropped ready entry: want *audit.Violation, got %v", err)
+	}
+	if v.Rule != "readyCoverage" {
+		t.Errorf("dropped ready entry blames rule %q, want readyCoverage", v.Rule)
+	}
+	if v.Got != v.Want-1 {
+		t.Errorf("readyCoverage got=%d want=%d, expected off-by-one", v.Got, v.Want)
+	}
+}
+
 // TestAuditorStepTriggering drives the Auditor itself: the first step
 // sweeps unconditionally, an injected skew is caught by the periodic
 // sweep even when no lifecycle transition accompanies it, and Final

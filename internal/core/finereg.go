@@ -58,6 +58,11 @@ type FineReg struct {
 	// DepletionEvents counts switch attempts rejected for lack of PCRF
 	// space (Figure 14 diagnostics).
 	DepletionEvents int64
+
+	// refBuf is evictStore's reusable live-register scratch; StoreChain
+	// copies it into the tag array, so the backing store never outlives
+	// the call.
+	refBuf []RegRef
 }
 
 // NewFineReg builds the policy with the given ACRF/PCRF split. It panics
@@ -205,9 +210,9 @@ func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
 	}
 	if in != nil {
 		inInfo := f.info(in)
-		restored := f.pcrf.ReleaseChain(inInfo.head)
-		s.Cnt.PCRFReads += int64(len(restored))
-		s.Cnt.RFWrites += int64(len(restored))
+		restored := f.pcrf.ReleaseChainCount(inInfo.head)
+		s.Cnt.PCRFReads += int64(restored)
+		s.Cnt.RFWrites += int64(restored)
 		inInfo.head, inInfo.chainLen = -1, 0
 		evictBv := f.bitvecDelay(s, c, now)
 		f.evictStore(s, c, now)
@@ -219,12 +224,12 @@ func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
 		// concurrently (Section V-E); warps of the incoming CTA become
 		// eligible as soon as their own live registers have been read
 		// back, so the visible delay is one warp's worth of chain.
-		lat := max(evictBv, f.cfg.SwitchDrainLat) + restoreLat(len(restored), s.Meta().WarpsPerCTA())
+		lat := max(evictBv, f.cfg.SwitchDrainLat) + restoreLat(restored, s.Meta().WarpsPerCTA())
 		f.acrfFree -= in.RegCost
 		f.mon.Set(inInfo.slot, CtxPipeline, RegACRF)
 		s.Reactivate(in, now, lat)
 		if t := s.Trace(); t != nil {
-			t.RegTransfer(s.ID, in.ID, trace.XferRestoreFromPCRF, len(restored), len(restored)*sm.WarpRegBytes, now)
+			t.RegTransfer(s.ID, in.ID, trace.XferRestoreFromPCRF, restored, restored*sm.WarpRegBytes, now)
 		}
 	} else {
 		evictBv := f.bitvecDelay(s, c, now)
@@ -294,7 +299,7 @@ func restoreLat(chainLen, warps int) int64 {
 // returns the outbound transfer latency (bit-vector lookups are accounted
 // separately via bitvecDelay).
 func (f *FineReg) evictStore(s *sm.SM, c *sm.CTA, now int64) int64 {
-	var refs []RegRef
+	refs := f.refBuf[:0]
 	if f.CompactLive {
 		s.Meta().LiveRefs(c, func(w, r uint8) {
 			refs = append(refs, RegRef{Warp: w, Reg: r})
@@ -306,6 +311,7 @@ func (f *FineReg) evictStore(s *sm.SM, c *sm.CTA, now int64) int64 {
 			}
 		}
 	}
+	f.refBuf = refs[:0]
 	head, ok := f.pcrf.StoreChain(refs)
 	if !ok {
 		panic("core: evictStore without sufficient PCRF space (caller must check)")
@@ -327,15 +333,15 @@ func (f *FineReg) evictStore(s *sm.SM, c *sm.CTA, now int64) int64 {
 // restore reactivates a pending CTA, reading its chain back into the ACRF.
 func (f *FineReg) restore(s *sm.SM, c *sm.CTA, now, extraLat int64) {
 	info := f.info(c)
-	refs := f.pcrf.ReleaseChain(info.head)
-	s.Cnt.PCRFReads += int64(len(refs))
-	s.Cnt.RFWrites += int64(len(refs))
+	n := f.pcrf.ReleaseChainCount(info.head)
+	s.Cnt.PCRFReads += int64(n)
+	s.Cnt.RFWrites += int64(n)
 	info.head, info.chainLen = -1, 0
 	f.acrfFree -= c.RegCost
 	f.mon.Set(info.slot, CtxPipeline, RegACRF)
-	s.Reactivate(c, now, restoreLat(len(refs), s.Meta().WarpsPerCTA())+f.cfg.SwitchDrainLat+extraLat)
+	s.Reactivate(c, now, restoreLat(n, s.Meta().WarpsPerCTA())+f.cfg.SwitchDrainLat+extraLat)
 	if t := s.Trace(); t != nil {
-		t.RegTransfer(s.ID, c.ID, trace.XferRestoreFromPCRF, len(refs), len(refs)*sm.WarpRegBytes, now)
+		t.RegTransfer(s.ID, c.ID, trace.XferRestoreFromPCRF, n, n*sm.WarpRegBytes, now)
 	}
 }
 

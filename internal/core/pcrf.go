@@ -140,6 +140,32 @@ func (p *PCRF) ReleaseChain(head int) []RegRef {
 	}
 }
 
+// ReleaseChainCount walks and invalidates a chain exactly like
+// ReleaseChain but returns only its length — the hot-path variant for the
+// restore paths, which account transfers by count and never look at the
+// individual registers.
+func (p *PCRF) ReleaseChainCount(head int) int {
+	if head < 0 {
+		return 0
+	}
+	n := 0
+	slot := head
+	for {
+		t := &p.tags[slot]
+		if !t.valid {
+			panic(fmt.Sprintf("core: PCRF chain hits invalid entry %d", slot))
+		}
+		n++
+		p.Reads++
+		t.valid = false
+		p.free++
+		if t.end {
+			return n
+		}
+		slot = int(t.next)
+	}
+}
+
 // ChainLen walks a chain without mutating it and returns its length.
 func (p *PCRF) ChainLen(head int) int {
 	if head < 0 {

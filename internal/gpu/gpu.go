@@ -163,22 +163,48 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 		auditor = audit.New(g.Cfg.AuditInterval)
 	}
 
+	// The run loop is event-driven per SM: each SM's last-returned wake
+	// time is cached, and a global step only re-Ticks the SMs whose cache
+	// is due. A skipped SM is provably inert — it reported no awake warps
+	// and no event at or before now, and nothing outside its own Tick
+	// mutates it — so re-Ticking it (as the dense loop did) could only
+	// drain zero events and return the same wake time. The step sequence,
+	// and therefore every cycle count, is identical to the dense loop's.
+	//
+	// Occupancy integrals likewise no longer cost a per-step sweep over
+	// all SMs: each SM integrates its own counters at state transitions
+	// (sm.statSample) and the totals are flushed once at run end.
 	var now int64
-	var residentInt, activeInt, threadsInt float64
+	wake := make([]int64, len(g.SMs)) // zero: every SM ticks at cycle 0
+	residentSMs := 0
+	hasRes := make([]bool, len(g.SMs))
+	for i, s := range g.SMs {
+		if s.HasResidents() {
+			hasRes[i] = true
+			residentSMs++
+		}
+	}
 
 	for {
 		if g.stop.Load() {
 			return nil, fmt.Errorf("%w at cycle %d", ErrInterrupted, now)
 		}
 		next := farFuture
-		anyResident := false
-		for _, s := range g.SMs {
-			n, _ := s.Tick(now)
-			if n < next {
-				next = n
+		for i, s := range g.SMs {
+			if wake[i] <= now {
+				n, _ := s.Tick(now)
+				wake[i] = n
+				if r := s.HasResidents(); r != hasRes[i] {
+					hasRes[i] = r
+					if r {
+						residentSMs++
+					} else {
+						residentSMs--
+					}
+				}
 			}
-			if len(s.Residents()) > 0 {
-				anyResident = true
+			if wake[i] < next {
+				next = wake[i]
 			}
 		}
 		if auditor != nil {
@@ -186,7 +212,7 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 				return nil, err
 			}
 		}
-		if !anyResident && g.disp.Remaining() == 0 {
+		if residentSMs == 0 && g.disp.Remaining() == 0 {
 			break
 		}
 		if next == farFuture {
@@ -194,12 +220,6 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 		}
 		if next <= now {
 			next = now + 1
-		}
-		dt := float64(next - now)
-		for _, s := range g.SMs {
-			residentInt += float64(s.ResidentCTAs()) * dt
-			activeInt += float64(s.ActiveCTAs()) * dt
-			threadsInt += float64(s.ActiveThreads()) * dt
 		}
 		now = next
 		if now > maxCycles {
@@ -217,7 +237,7 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 	if g.sink != nil {
 		g.sink.RunEnd(now)
 	}
-	return g.collect(k, now, residentInt, activeInt, threadsInt), nil
+	return g.collect(k, now), nil
 }
 
 // debugResidents dumps stuck CTA/warp state for deadlock reports.
@@ -239,7 +259,7 @@ func (g *GPU) residentCount() int {
 	return n
 }
 
-func (g *GPU) collect(k *kernels.Kernel, cycles int64, residentInt, activeInt, threadsInt float64) *stats.Metrics {
+func (g *GPU) collect(k *kernels.Kernel, cycles int64) *stats.Metrics {
 	m := &stats.Metrics{
 		Benchmark: k.Name(),
 		Config:    g.SMs[0].Pol.Name(),
@@ -247,7 +267,12 @@ func (g *GPU) collect(k *kernels.Kernel, cycles int64, residentInt, activeInt, t
 	}
 	var stallSum float64
 	var stallN int64
+	var residentInt, activeInt, threadsInt int64
 	for _, s := range g.SMs {
+		r, a, th := s.OccupancyIntegrals(cycles)
+		residentInt += r
+		activeInt += a
+		threadsInt += th
 		m.Instructions += s.Cnt.Instructions
 		m.CTAsLaunched += s.Cnt.CTAsLaunched
 		m.CTASwitches += s.Cnt.CTASwitches
@@ -269,9 +294,9 @@ func (g *GPU) collect(k *kernels.Kernel, cycles int64, residentInt, activeInt, t
 	}
 	if cycles > 0 {
 		denom := float64(cycles) * float64(len(g.SMs))
-		m.AvgResidentCTAs = residentInt / denom
-		m.AvgActiveCTAs = activeInt / denom
-		m.AvgActiveThreads = threadsInt / denom
+		m.AvgResidentCTAs = float64(residentInt) / denom
+		m.AvgActiveCTAs = float64(activeInt) / denom
+		m.AvgActiveThreads = float64(threadsInt) / denom
 	}
 	m.L2Accesses = g.Hier.L2.Accesses
 	m.L2Misses = g.Hier.L2.Misses

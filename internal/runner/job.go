@@ -30,7 +30,15 @@ import (
 //
 // v2: DRAM completion cycles round up instead of truncating, and the LRR
 // scheduler became a true round-robin — both change timing everywhere.
-const SimFingerprint = "finereg-sim-v2"
+//
+// v3: the LRR rotation anchor survives mid-rotation CTA eviction (it was
+// reset to slot 0 whenever the last-issued warp's CTA left the scheduler),
+// and scheduler scans see a stable snapshot of the warp list (in-place
+// compaction under an in-progress scan could skip ready warps). Both
+// change timing on switch-heavy LRR runs. The event-driven run loop that
+// landed alongside is timing-neutral — pinned byte-identical by
+// audit/diff's golden matrix.
+const SimFingerprint = "finereg-sim-v3"
 
 // Job is one schedulable simulation: a machine configuration, a kernel
 // profile and grid, a policy, and instrumentation flags. The zero-value

@@ -61,12 +61,27 @@ func (s *SM) EachSchedulerWarp(visit func(sid int, w *Warp)) {
 	}
 }
 
+// EachReadyWarp visits every warp in the schedulers' ready partitions, in
+// scheduler then slot order — the exact issue-candidate set pick/pickLRR
+// scan.
+func (s *SM) EachReadyWarp(visit func(sid int, w *Warp)) {
+	for sid, ws := range s.ready {
+		for _, w := range ws {
+			visit(sid, w)
+		}
+	}
+}
+
 // KernelBound reports whether BindKernel has run (the auditor needs the
 // program metadata for shared-memory ground truth).
 func (s *SM) KernelBound() bool { return s.meta != nil }
 
 // Asleep reports whether the warp is descheduled waiting on an event.
 func (w *Warp) Asleep() bool { return w.asleep }
+
+// SchedSeq returns the warp's wiring sequence within its scheduler (the
+// sort key of the scheduler and ready lists, and LRR's rotation anchor).
+func (w *Warp) SchedSeq() int64 { return w.schedSeq }
 
 // AtBarrier reports whether the warp is parked at a CTA-wide barrier.
 func (w *Warp) AtBarrier() bool { return w.atBarrier }
@@ -107,4 +122,18 @@ func (s *SM) InjectAccountingSkew(counter string, delta int) {
 	default:
 		panic(fmt.Sprintf("sm: InjectAccountingSkew: unknown counter %q", counter))
 	}
+}
+
+// InjectReadySkew corrupts the ready partitions by dropping the first
+// entry of the first non-empty list (simulating a missed readyAdd — the
+// bug class where a woken warp never becomes an issue candidate). Returns
+// false when every partition is empty. Tests only.
+func (s *SM) InjectReadySkew() bool {
+	for sid, ws := range s.ready {
+		if len(ws) > 0 {
+			s.ready[sid] = ws[1:]
+			return true
+		}
+	}
+	return false
 }

@@ -13,12 +13,14 @@ import (
 // issueLog records the per-warp issue order through the trace sink.
 type issueLog struct {
 	trace.Noop
-	order  []int
-	counts map[int]int
+	order    []int
+	ctaOrder []int
+	counts   map[int]int
 }
 
 func (l *issueLog) WarpIssue(sm, cta, warp int, now int64, pc int) {
 	l.order = append(l.order, warp)
+	l.ctaOrder = append(l.ctaOrder, cta)
 	l.counts[warp]++
 }
 
@@ -100,6 +102,79 @@ func TestLRRRotatesFairly(t *testing.T) {
 		if max-min > warps {
 			t.Fatalf("warp lead %d exceeds a rotation (counts %v)", max-min, running)
 		}
+	}
+}
+
+// TestLRRSurvivesMidRotationEviction is the regression test for the
+// rotation-anchor bug: the LRR start position was derived from the greedy
+// *pointer*, which dropWarpsOf nils when the last-issued warp's CTA is
+// evicted — so every mid-rotation CTA switch reset the rotation to slot 0
+// and re-served the low-index warps. The anchor is now the departed warp's
+// wiring sequence: after evicting the CTA that holds the anchor warp, the
+// next issue must come from the first ready warp wired *after* it, not
+// from slot 0.
+func TestLRRSurvivesMidRotationEviction(t *testing.T) {
+	b := isa.NewBuilder("lrr-evict")
+	b.MovI(1, 7)
+	for i := 0; i < 30; i++ {
+		b.FAdd(isa.Reg(2+i%8), 1, 1)
+	}
+	b.Exit()
+	prog := b.MustBuild(12)
+	k := &kernels.Kernel{
+		Profile:  kernels.Profile{Abbrev: "LRRE", WarpsPerCTA: 2, Regs: 12},
+		Prog:     prog,
+		GridCTAs: 3,
+	}
+	var err error
+	k.Live, err = liveness.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Default()
+	cfg.NumSchedulers = 1
+	cfg.Scheduler = SchedLRR
+	hier := mem.NewHierarchy(2<<20, 8, 600, 313, mem.DefaultLatencies())
+	disp := &sliceDisp{total: 3}
+	s := New(0, cfg, hier, disp, &nullPolicy{})
+	log := &issueLog{counts: map[int]int{}}
+	s.SetTrace(log)
+	s.BindKernel(k, 0)
+
+	// Wiring order on the single scheduler: c0w0 c0w1 c1w0 c1w1 c2w0 c2w1.
+	// Four ticks of all-ready ALU work issue c0w0, c0w1, c1w0, c1w1 — the
+	// rotation anchor now sits on CTA 1's second warp.
+	var now int64
+	for i := 0; i < 4; i++ {
+		s.Tick(now)
+		now++
+	}
+	if got := len(log.order); got != 4 {
+		t.Fatalf("issued %d instructions in 4 ticks, want 4 (one scheduler)", got)
+	}
+	if log.ctaOrder[3] != 1 || log.order[3] != 1 {
+		t.Fatalf("anchor warp is CTA%d w%d, want CTA1 w1 (wiring-order rotation)", log.ctaOrder[3], log.order[3])
+	}
+
+	// Evict CTA 1 mid-rotation: the anchor warp leaves the scheduler.
+	var c1 *CTA
+	for _, c := range s.Residents() {
+		if c.ID == 1 {
+			c1 = c
+		}
+	}
+	s.Deactivate(c1, CTAPendingRF, now)
+
+	// The next issue must continue the rotation at CTA 2 (wired after the
+	// departed anchor), not restart at CTA 0's slot-0 warp.
+	s.Tick(now)
+	if got := len(log.order); got != 5 {
+		t.Fatalf("issued %d instructions after eviction tick, want 5", got)
+	}
+	if log.ctaOrder[4] != 2 || log.order[4] != 0 {
+		t.Errorf("post-eviction issue went to CTA%d w%d, want CTA2 w0 (rotation must survive the eviction)",
+			log.ctaOrder[4], log.order[4])
 	}
 }
 

@@ -1,7 +1,7 @@
 package sm
 
 import (
-	"container/heap"
+	"math/bits"
 
 	"finereg/internal/isa"
 	"finereg/internal/kernels"
@@ -90,8 +90,21 @@ type SM struct {
 
 	// Residency.
 	residents  []*CTA
-	schedWarps [][]*Warp // per scheduler
-	greedy     []*Warp
+	schedWarps [][]*Warp // per scheduler, sorted by schedSeq
+	// ready is the issue-candidate partition of schedWarps: per scheduler,
+	// the awake (non-exited, active-CTA, wakeAt <= now) warps, kept sorted
+	// by schedSeq so scan order matches the full wiring order. Maintained in
+	// lockstep with the awake counter; pick/pickLRR scan only this.
+	ready   [][]*Warp
+	scanBuf []*Warp // reusable pick-scan snapshot (see pick)
+	greedy  []*Warp
+	// rotor is the per-scheduler LRR rotation anchor: the schedSeq of the
+	// last-issued warp. Unlike the greedy pointer it survives the warp
+	// leaving the scheduler (CTA switch or exit compaction), so a rotation
+	// resumes after the departed warp's position instead of resetting to
+	// slot 0 and re-serving the low-index warps.
+	rotor   []int64
+	seqNext []int64 // per-scheduler wiring sequence counter
 
 	activeCTAs  int
 	awake       int // active, non-exited warps with wakeAt <= now
@@ -103,6 +116,16 @@ type SM struct {
 	events      eventHeap
 	stamp       int64
 	schedAssign int
+
+	// Occupancy integrals (Σ value·dt), maintained incrementally at state
+	// transitions instead of sampled every global step by the run loop.
+	// int64 is exact: peak values (threads ≤ 2048) times the cycle budget
+	// (≤ 2e8) stay far below 2^53, so these match the old per-step float
+	// accumulation bit for bit.
+	statLastT   int64
+	residentInt int64
+	activeInt   int64
+	threadsInt  int64
 
 	// instrumentation
 	Cnt          Counters
@@ -133,7 +156,10 @@ func New(id int, cfg Config, hier *mem.Hierarchy, disp Dispatcher, pol Policy) *
 		Disp: disp,
 	}
 	s.schedWarps = make([][]*Warp, cfg.NumSchedulers)
+	s.ready = make([][]*Warp, cfg.NumSchedulers)
 	s.greedy = make([]*Warp, cfg.NumSchedulers)
+	s.rotor = make([]int64, cfg.NumSchedulers)
+	s.seqNext = make([]int64, cfg.NumSchedulers)
 	return s
 }
 
@@ -141,6 +167,8 @@ func New(id int, cfg Config, hier *mem.Hierarchy, disp Dispatcher, pol Policy) *
 // its initial CTAs.
 func (s *SM) BindKernel(k *kernels.Kernel, now int64) {
 	s.meta = newProgMeta(k)
+	s.statLastT = now
+	s.residentInt, s.activeInt, s.threadsInt = 0, 0, 0
 	s.Pol.KernelStart(s, now)
 	s.Pol.FillSlots(s, now)
 }
@@ -179,12 +207,9 @@ func (p *ProgInfo) MaxRegAt(pc int) int { return p.meta.maxReg[pc] }
 // define. This is what RegMutex's SRP must hold for the warp.
 func (p *ProgInfo) HighPressure(pc, brs int) int {
 	live := p.meta.live.At(pc)
-	n := 0
-	for _, r := range live.Regs() {
-		if int(r) >= brs {
-			n++
-		}
-	}
+	// Registers >= brs are exactly the bits that survive shifting the
+	// vector right by brs (allocation-free, unlike materializing Regs()).
+	n := bits.OnesCount64(uint64(live) >> uint(brs))
 	in := p.meta.prog.At(pc)
 	if in.Dst.Valid() && int(in.Dst) >= brs && !live.Has(in.Dst) {
 		n++
@@ -208,8 +233,10 @@ func (p *ProgInfo) LiveRefs(c *CTA, visit func(warp, reg uint8)) {
 		if w.exited {
 			continue
 		}
-		for _, r := range p.meta.live.At(w.PC).Regs() {
-			visit(uint8(w.Idx), uint8(r))
+		// Walk the set bits directly; this runs on every eviction, and
+		// materializing Regs() allocated a slice per warp.
+		for v := uint64(p.meta.live.At(w.PC)); v != 0; v &= v - 1 {
+			visit(uint8(w.Idx), uint8(bits.TrailingZeros64(v)))
 		}
 	}
 }
@@ -217,11 +244,21 @@ func (p *ProgInfo) LiveRefs(c *CTA, visit func(warp, reg uint8)) {
 // StallPCs returns the distinct PCs at which the CTA's warps are parked —
 // the bit-vector cache probe set for an eviction.
 func (p *ProgInfo) StallPCs(c *CTA) []int {
-	seen := map[int]bool{}
+	// A CTA has at most a handful of warps, so linear dedup beats a map
+	// (which cost an allocation per eviction).
 	var pcs []int
 	for _, w := range c.Warps {
-		if !w.exited && !seen[w.PC] {
-			seen[w.PC] = true
+		if w.exited {
+			continue
+		}
+		dup := false
+		for _, pc := range pcs {
+			if pc == w.PC {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			pcs = append(pcs, w.PC)
 		}
 	}
@@ -242,9 +279,37 @@ func (s *SM) ResidentCTAs() int { return s.activeCTAs + s.pendingCTAs }
 // ActiveThreads returns threads of active CTAs still running.
 func (s *SM) ActiveThreads() int { return s.threadsUsed }
 
+// HasResidents reports whether any CTA is resident (O(1); the run loop
+// polls this after every skipped-SM round).
+func (s *SM) HasResidents() bool { return len(s.residents) > 0 }
+
 // Residents returns the resident CTA list (policies iterate it to find
 // resume candidates). The slice must not be mutated.
 func (s *SM) Residents() []*CTA { return s.residents }
+
+// statSample closes the occupancy integrals' current piece at cycle now.
+// Every mutation of activeCTAs/pendingCTAs/threadsUsed must call this
+// first, so the integrals always reflect the value that held on
+// [statLastT, now).
+func (s *SM) statSample(now int64) {
+	dt := now - s.statLastT
+	if dt <= 0 {
+		return
+	}
+	s.statLastT = now
+	s.residentInt += int64(s.activeCTAs+s.pendingCTAs) * dt
+	s.activeInt += int64(s.activeCTAs) * dt
+	s.threadsInt += int64(s.threadsUsed) * dt
+}
+
+// OccupancyIntegrals flushes the incremental occupancy integrals up to
+// cycle end and returns Σresident·dt, Σactive·dt and Σthreads·dt since
+// BindKernel. The run loop divides by total cycles to recover the same
+// averages the dense per-step sampling produced.
+func (s *SM) OccupancyIntegrals(end int64) (resident, active, threads int64) {
+	s.statSample(end)
+	return s.residentInt, s.activeInt, s.threadsInt
+}
 
 // CanActivateOne reports whether scheduling resources (CTA/warp/thread
 // slots) and shared memory admit one more active CTA. newResident says
@@ -340,6 +405,7 @@ func (s *SM) LaunchParked(now int64, st CTAState) *CTA {
 	}
 	s.residents = append(s.residents, c)
 	s.shmemUsed += s.meta.sharedMem
+	s.statSample(now)
 	s.pendingCTAs++
 	s.Cnt.CTAsLaunched++
 	if s.sink != nil {
@@ -350,6 +416,7 @@ func (s *SM) LaunchParked(now int64, st CTAState) *CTA {
 
 // enterActive wires an active CTA's live warps into the schedulers.
 func (s *SM) enterActive(c *CTA, now, delay int64) {
+	s.statSample(now)
 	s.activeCTAs++
 	for _, w := range c.Warps {
 		if w.exited {
@@ -359,16 +426,20 @@ func (s *SM) enterActive(c *CTA, now, delay int64) {
 		s.threadsUsed += 32
 		sid := s.schedAssign % s.Cfg.NumSchedulers
 		s.schedAssign++
+		s.seqNext[sid]++
+		w.schedSeq = s.seqNext[sid]
+		w.schedID = sid
 		s.schedWarps[sid] = append(s.schedWarps[sid], w)
 		if w.wakeAt < now+delay {
 			w.wakeAt = now + delay
 		}
 		if w.wakeAt > now {
 			w.asleep = true
-			heap.Push(&s.events, event{at: w.wakeAt, warp: w})
+			s.events.push(event{at: w.wakeAt, warp: w})
 		} else {
 			w.asleep = false
 			s.awake++
+			s.readyAdd(w)
 		}
 		if s.sink != nil {
 			// A warp entering blocked waits out either the switch's
@@ -395,6 +466,7 @@ func (s *SM) Deactivate(c *CTA, st CTAState, now int64) {
 	if c.State != CTAActive {
 		return
 	}
+	s.statSample(now)
 	c.State = st
 	s.activeCTAs--
 	s.pendingCTAs++
@@ -409,6 +481,7 @@ func (s *SM) Deactivate(c *CTA, st CTAState, now int64) {
 		if !w.asleep {
 			w.asleep = true // parked; Reactivate re-arms wake-up
 			s.awake--
+			s.readyRemove(w)
 		}
 		if ready < 0 || w.wakeAt < ready {
 			ready = w.wakeAt
@@ -423,7 +496,7 @@ func (s *SM) Deactivate(c *CTA, st CTAState, now int64) {
 	}
 	c.ReadyAt = ready
 	s.dropWarpsOf(c)
-	heap.Push(&s.events, event{at: ready, cta: c})
+	s.events.push(event{at: ready, cta: c})
 	if s.sink != nil {
 		s.sink.CTAEvent(s.ID, trace.CTADeactivate, c.ID, now, int64(st))
 	}
@@ -451,7 +524,54 @@ func warpUID(ctaID, warpIdx int) uint64 {
 	return uint64(ctaID)*64 + uint64(warpIdx) + 1
 }
 
-// dropWarpsOf removes a CTA's warps from the scheduler lists.
+// readyAdd inserts w into its scheduler's ready partition at its
+// schedSeq-sorted position. Insertion scans from the tail: freshly wired
+// warps carry the highest sequence so the common case is an append.
+func (s *SM) readyAdd(w *Warp) {
+	rs := s.ready[w.schedID]
+	i := len(rs)
+	for i > 0 && rs[i-1].schedSeq > w.schedSeq {
+		i--
+	}
+	rs = append(rs, nil)
+	copy(rs[i+1:], rs[i:])
+	rs[i] = w
+	s.ready[w.schedID] = rs
+}
+
+// readyRemove deletes w from its scheduler's ready partition (no-op if
+// absent), preserving the sorted order of the rest.
+func (s *SM) readyRemove(w *Warp) {
+	rs := s.ready[w.schedID]
+	for i, x := range rs {
+		if x == w {
+			s.ready[w.schedID] = append(rs[:i], rs[i+1:]...)
+			return
+		}
+	}
+}
+
+// schedRemove unwires a single warp from its scheduler list (exit
+// compaction — exited warps no longer linger until CTA completion).
+func (s *SM) schedRemove(w *Warp) {
+	ws := s.schedWarps[w.schedID]
+	for i, x := range ws {
+		if x == w {
+			s.schedWarps[w.schedID] = append(ws[:i], ws[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropWarpsOf removes a CTA's warps from the scheduler lists and ready
+// partitions. Deactivate has already slept (and ready-removed) the CTA's
+// awake warps when this runs, so the ready filter is a defensive no-op on
+// that path; it keeps the partitions consistent for any future caller.
+//
+// This can run under an in-progress pick scan (block → full stall →
+// policy eviction), which is why pick/pickLRR scan a snapshot: compacting
+// the live list an iterator is walking used to shift unrelated ready
+// warps behind the cursor and silently skip them for the cycle.
 func (s *SM) dropWarpsOf(c *CTA) {
 	for sid := range s.schedWarps {
 		ws := s.schedWarps[sid][:0]
@@ -461,6 +581,13 @@ func (s *SM) dropWarpsOf(c *CTA) {
 			}
 		}
 		s.schedWarps[sid] = ws
+		rs := s.ready[sid][:0]
+		for _, w := range s.ready[sid] {
+			if w.CTA != c {
+				rs = append(rs, w)
+			}
+		}
+		s.ready[sid] = rs
 		if s.greedy[sid] != nil && s.greedy[sid].CTA == c {
 			s.greedy[sid] = nil
 		}
@@ -473,6 +600,7 @@ func (s *SM) finishCTA(c *CTA, now int64) {
 	if s.sink != nil {
 		s.sink.CTAEvent(s.ID, trace.CTAFinish, c.ID, now, 0)
 	}
+	s.statSample(now)
 	s.activeCTAs--
 	s.shmemUsed -= s.meta.sharedMem
 	for i, r := range s.residents {
@@ -499,17 +627,63 @@ type event struct {
 	cta  *CTA  // pending-CTA ready
 }
 
+// eventHeap is a hand-rolled binary min-heap on event.at. It replicates
+// container/heap's sift comparisons exactly (strict < with the same
+// up/down order), so equal-time events pop in the same order as before —
+// that tie order is observable through same-cycle OnCTAReady delivery —
+// while push/pop avoid boxing each event into an interface value, which
+// cost one allocation per warp block on the hot path.
 type eventHeap []event
 
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h eventHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || h[j].at >= h[i].at {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	e := old[n]
+	old[n] = event{} // release warp/CTA pointers to the collector
+	*h = old[:n]
+	return e
+}
+
+func (h eventHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			return
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].at < h[j1].at {
+			j = j2 // right child
+		}
+		if h[j].at >= h[i].at {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
 
 // ScheduleEvent lets policies register a future OnCTAReady check.
 func (s *SM) ScheduleEvent(at int64, c *CTA) {
-	heap.Push(&s.events, event{at: at, cta: c})
+	s.events.push(event{at: at, cta: c})
 }
 
 // ---- The cycle ----
@@ -520,12 +694,13 @@ func (s *SM) ScheduleEvent(at int64, c *CTA) {
 // how many instructions issued this cycle.
 func (s *SM) Tick(now int64) (next int64, issued int) {
 	for len(s.events) > 0 && s.events[0].at <= now {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		if e.warp != nil {
 			w := e.warp
 			if w.asleep && !w.exited && !w.atBarrier && w.wakeAt <= now && w.CTA.State == CTAActive {
 				w.asleep = false
 				s.awake++
+				s.readyAdd(w)
 				if w.longBlocked {
 					w.longBlocked = false
 					w.CTA.stalledWarps--
@@ -556,6 +731,7 @@ func (s *SM) Tick(now int64) (next int64, issued int) {
 		if w := s.pick(sid, now); w != nil {
 			s.issue(w, now)
 			s.greedy[sid] = w
+			s.rotor[sid] = w.schedSeq
 			issued++
 		}
 	}
@@ -575,6 +751,15 @@ func (s *SM) Tick(now int64) (next int64, issued int) {
 
 // pick selects the warp scheduler sid issues from, blocking (and sleeping)
 // warps whose dependencies are not ready.
+//
+// Both schedulers scan a snapshot of the ready partition rather than the
+// full warp list: the sleeping majority contributes nothing to a pick, so
+// skipping it is pure savings. The snapshot (a reusable buffer, no
+// allocation) makes the scan safe against issueReady's side effects —
+// blocking a warp can evict its fully-stalled CTA, which edits the live
+// ready list mid-scan; the per-warp staleness guard below then skips
+// anything the eviction put to sleep, exactly as the dense scan's
+// wakeAt/CTA-state checks did.
 func (s *SM) pick(sid int, now int64) *Warp {
 	if s.Cfg.Scheduler == SchedLRR {
 		return s.pickLRR(sid, now)
@@ -583,9 +768,10 @@ func (s *SM) pick(sid int, now int64) *Warp {
 		return g
 	}
 	var best *Warp
-	for _, w := range s.schedWarps[sid] {
-		if w.exited || w.wakeAt > now {
-			continue
+	buf := append(s.scanBuf[:0], s.ready[sid]...)
+	for _, w := range buf {
+		if w.asleep || w.exited || w.wakeAt > now {
+			continue // went stale mid-scan
 		}
 		if !s.issueReady(w, now) {
 			continue
@@ -594,33 +780,45 @@ func (s *SM) pick(sid int, now int64) *Warp {
 			best = w
 		}
 	}
+	s.scanBuf = buf[:0]
 	return best
 }
 
 // pickLRR rotates through the scheduler's warp list: the scan starts just
-// after the last-issued warp (greedy[sid]) and wraps, so every ready warp
-// gets a turn before any warp issues twice. Starting from slot 0 every
-// cycle would permanently starve high-index warps whenever the low-index
-// ones stay ready.
+// after the rotation anchor — the wiring sequence of the last-issued warp
+// — and wraps, so every ready warp gets a turn before any warp issues
+// twice. Starting from slot 0 every cycle would permanently starve
+// high-index warps whenever the low-index ones stay ready. The anchor is a
+// sequence number rather than a warp pointer so that a mid-rotation CTA
+// eviction (which unwires the anchor warp) resumes the rotation after the
+// departed warp's position instead of handing slot 0 an extra turn.
 func (s *SM) pickLRR(sid int, now int64) *Warp {
-	ws := s.schedWarps[sid]
+	ws := append(s.scanBuf[:0], s.ready[sid]...)
+	defer func() { s.scanBuf = ws[:0] }()
 	n := len(ws)
 	if n == 0 {
 		return nil
 	}
+	// The partition is sorted by schedSeq (insertion keeps order), so the
+	// rotation start is the first entry wired after the anchor; none found
+	// means the anchor was the tail and the scan wraps to slot 0. Sleeping
+	// warps are absent from the partition but their relative order is
+	// unchanged, so this visits the same awake warps in the same order as
+	// a full-list rotation did.
 	start := 0
-	if g := s.greedy[sid]; g != nil {
+	if rot := s.rotor[sid]; rot > 0 {
+		start = n
 		for i, w := range ws {
-			if w == g {
-				start = i + 1
+			if w.schedSeq > rot {
+				start = i
 				break
 			}
 		}
 	}
 	for i := 0; i < n; i++ {
 		w := ws[(start+i)%n]
-		if w.exited || w.wakeAt > now {
-			continue
+		if w.asleep || w.exited || w.wakeAt > now {
+			continue // went stale mid-scan
 		}
 		if s.issueReady(w, now) {
 			return w
@@ -664,8 +862,9 @@ func (s *SM) block(w *Warp, until, now int64, reason trace.StallReason) {
 	if !w.asleep {
 		w.asleep = true
 		s.awake--
+		s.readyRemove(w)
 	}
-	heap.Push(&s.events, event{at: until, warp: w})
+	s.events.push(event{at: until, warp: w})
 	if s.sink != nil {
 		s.sink.WarpBlock(s.ID, w.CTA.ID, w.Idx, now, until, reason)
 	}
@@ -771,6 +970,7 @@ func (s *SM) issue(w *Warp, now int64) {
 			if !w.asleep {
 				w.asleep = true
 				s.awake--
+				s.readyRemove(w)
 			}
 			w.wakeAt = barrierParked
 		}
@@ -803,6 +1003,7 @@ func (s *SM) releaseBarrier(c *CTA, now int64) {
 			bw.wakeAt = now
 			bw.asleep = false
 			s.awake++
+			s.readyAdd(bw)
 		}
 		if s.sink != nil {
 			s.sink.WarpBarrierRelease(s.ID, c.ID, bw.Idx, now)
@@ -816,6 +1017,14 @@ func (s *SM) exitWarp(w *Warp, now int64) {
 	w.exited = true
 	c := w.CTA
 	c.finishedWarps++
+	// The greedy pointer must not outlive the warp's schedulability; the
+	// LRR rotation position survives through the rotor sequence.
+	for sid := range s.greedy {
+		if s.greedy[sid] == w {
+			s.greedy[sid] = nil
+		}
+	}
+	s.schedRemove(w)
 	if s.sink != nil {
 		s.sink.WarpExit(s.ID, c.ID, w.Idx, now)
 	}
@@ -825,7 +1034,9 @@ func (s *SM) exitWarp(w *Warp, now int64) {
 	}
 	if !w.asleep {
 		s.awake--
+		s.readyRemove(w)
 	}
+	s.statSample(now)
 	s.warpsUsed--
 	s.threadsUsed -= 32
 	if c.Finished() {

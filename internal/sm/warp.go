@@ -127,6 +127,13 @@ type Warp struct {
 	// divergent branches.
 	divergeRet []int
 
+	// schedSeq is the warp's wiring sequence within its scheduler,
+	// assigned by enterActive; scheduler lists stay sorted by it, and LRR
+	// anchors its rotation on the last-issued warp's sequence. schedID is
+	// the scheduler the warp is currently wired to.
+	schedSeq int64
+	schedID  int
+
 	wakeAt      int64
 	asleep      bool
 	longBlocked bool

@@ -8,8 +8,13 @@
 # The harness (cmd/finereg-bench) also byte-compares the serial and
 # parallel sweep tables, so this doubles as the determinism acceptance
 # check on real hardware.
+#
+# A second pass records the single-thread cycle-loop throughput per policy
+# (quick 4-SM and paper 16-SM scale) in BENCH_hotpath.json — the number
+# the event-driven simulation core is measured by.
 set -eu
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-4}"
 go run ./cmd/finereg-bench -jobs "$JOBS" -out BENCH_sweep.json
+go run ./cmd/finereg-bench -hotpath -out BENCH_hotpath.json
