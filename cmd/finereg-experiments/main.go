@@ -3,9 +3,9 @@
 // Usage:
 //
 //	finereg-experiments [-only t2,f2,f3,f4,f5,t3,f12,f13,f14,f15,f16,f17,f18,f19,abl,stalls]
-//	                    [-sms 16] [-grid-scale 1.0] [-quick] [-audit]
+//	                    [-sms 16] [-grid-scale 1.0] [-quick] [-audit] [-audit-collect]
 //	                    [-jobs N] [-cache-dir .finereg-cache] [-no-cache]
-//	                    [-job-timeout 0]
+//	                    [-job-timeout 0] [-server http://host:8321]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured record.
@@ -30,6 +30,7 @@ import (
 
 	"finereg/internal/experiments"
 	"finereg/internal/runner"
+	"finereg/internal/serve"
 	"finereg/internal/trace"
 )
 
@@ -47,10 +48,12 @@ func main() {
 		gridScale  = flag.Float64("grid-scale", 1.0, "workload grid scale")
 		quick      = flag.Bool("quick", false, "use the 4-SM quick configuration")
 		auditRuns  = flag.Bool("audit", false, "enable the runtime invariant auditor on every simulation")
+		auditAll   = flag.Bool("audit-collect", false, "audit in collect-all mode: summarize every violation at the end instead of aborting at the first (implies -audit)")
 		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", ".finereg-cache", "on-disk result cache directory ('' = memory only)")
 		noCache    = flag.Bool("no-cache", false, "keep results in memory only (no disk reads or writes)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+		server     = flag.String("server", "", "run simulations on a finereg-serve instance (e.g. http://localhost:8321) instead of in-process")
 	)
 	flag.Parse()
 
@@ -58,7 +61,8 @@ func main() {
 	if *quick {
 		opts = experiments.Quick()
 	}
-	opts.Audit = *auditRuns
+	opts.Audit = *auditRuns || *auditAll
+	opts.AuditCollect = *auditAll
 
 	valid := map[string]bool{}
 	for _, id := range experimentIDs {
@@ -94,6 +98,12 @@ func main() {
 		Events:  progress,
 	}
 	opts.Runner = eng
+	if *server != "" {
+		// Remote mode: batches go to the finereg-serve instance; the
+		// server's engine owns the workers and the cache, so the local
+		// knobs (-jobs, -cache-dir, -job-timeout) do not apply.
+		opts.Service = &serve.Client{Base: strings.TrimRight(*server, "/")}
+	}
 
 	run := func(id, title string, f func() (interface{ Render() string }, error)) {
 		if !selected(id) {

@@ -1,0 +1,112 @@
+// finereg-serve runs the simulator as a long-lived HTTP/JSON service.
+//
+// Usage:
+//
+//	finereg-serve [-addr :8321] [-workers N] [-queue 64] [-max-batch 256]
+//	              [-cache-dir .finereg-cache] [-no-cache] [-job-timeout 0]
+//	              [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/jobs              submit one simulation
+//	POST /v1/batches           submit a batch (admitted whole or shed whole)
+//	GET  /v1/jobs/{id}         job status + result
+//	GET  /v1/jobs/{id}/events  SSE lifecycle stream (submit/start/finish)
+//	GET  /v1/batches/{id}      batch status
+//	GET  /metrics              Prometheus text metrics
+//	GET  /healthz              liveness (503 while draining)
+//
+// Identical jobs coalesce: in-flight duplicates share one execution, and
+// completed ones are answered from the content-addressed cache without
+// re-simulation. When the admission queue is full the server sheds with
+// 429 + Retry-After rather than queueing unboundedly. SIGINT/SIGTERM
+// starts a graceful drain: in-flight simulations get -drain-timeout to
+// finish before being stopped cooperatively.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"finereg/internal/runner"
+	"finereg/internal/serve"
+	"finereg/internal/trace"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8321", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queueCap     = flag.Int("queue", serve.DefaultQueueCap, "admission queue capacity (full queue sheds with 429)")
+		maxBatch     = flag.Int("max-batch", serve.DefaultMaxBatch, "max jobs per batch request")
+		cacheDir     = flag.String("cache-dir", ".finereg-cache", "on-disk result cache directory ('' = memory only)")
+		noCache      = flag.Bool("no-cache", false, "keep results in memory only (no disk reads or writes)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight simulations")
+		quiet        = flag.Bool("quiet", false, "suppress the stderr progress line")
+	)
+	flag.Parse()
+
+	dir := *cacheDir
+	if *noCache {
+		dir = ""
+	}
+	eng := &runner.Engine{
+		Jobs:    *workers,
+		Cache:   runner.NewCache(dir),
+		Timeout: *jobTimeout,
+	}
+	srv := serve.New(serve.Config{
+		Engine:   eng,
+		Workers:  *workers,
+		QueueCap: *queueCap,
+		MaxBatch: *maxBatch,
+	})
+	if !*quiet {
+		progress := trace.NewProgress(os.Stderr)
+		srv.Fanout().Subscribe(progress)
+		defer progress.Close()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "finereg-serve: listening on %s (cache %s)\n", *addr, cacheLabel(dir))
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "finereg-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "\nfinereg-serve: draining (up to %s)...\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Service first: draining closes SSE streams and answers submissions
+	// with 503 while in-flight jobs finish. Only then stop the HTTP
+	// listener — the other order would leave hs.Shutdown waiting on SSE
+	// connections that only terminate once the service drains.
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "finereg-serve: drain deadline hit, in-flight simulations stopped\n")
+	}
+	hs.Shutdown(dctx)
+	fmt.Fprintln(os.Stderr, "finereg-serve: bye")
+}
+
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return dir
+}

@@ -6,7 +6,7 @@
 //
 //	finereg-sim [-bench CS,LB | all] [-policy baseline,vt,regdram,regmutex,finereg | all]
 //	            [-sms 16] [-grid-scale 1.0] [-srp 0.25] [-dram-cap 4] [-v]
-//	            [-json | -csv] [-stalls] [-audit]
+//	            [-json | -csv] [-stalls] [-audit] [-audit-collect]
 //	            [-jobs N] [-cache-dir ''] [-no-cache] [-job-timeout 0]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -30,11 +30,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"finereg/internal/audit"
 	"finereg/internal/gpu"
 	"finereg/internal/kernels"
 	"finereg/internal/prof"
@@ -55,6 +57,7 @@ func main() {
 		csvOut     = flag.Bool("csv", false, "emit metrics as CSV instead of the table")
 		stalls     = flag.Bool("stalls", false, "trace each run and attach the stall-cycle breakdown")
 		auditRuns  = flag.Bool("audit", false, "enable the runtime invariant auditor on every run (internal/audit)")
+		auditAll   = flag.Bool("audit-collect", false, "audit in collect-all mode: gather every violation and summarize at the end instead of aborting at the first (implies -audit)")
 		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory ('' = no disk cache)")
 		noCache    = flag.Bool("no-cache", false, "disable the on-disk cache even if -cache-dir is set")
@@ -65,7 +68,8 @@ func main() {
 	flag.Parse()
 
 	cfg := gpu.Default().Scale(*sms)
-	cfg.Audit = *auditRuns
+	cfg.Audit = *auditRuns || *auditAll
+	cfg.AuditCollect = *auditAll
 	scale := *gridScale
 	if scale == 0 {
 		scale = float64(*sms) / 16
@@ -154,6 +158,13 @@ func main() {
 	// failures are listed individually and reflected in the exit status.
 	if failed := batch.Failed(); len(failed) > 0 {
 		for _, i := range failed {
+			var vs *audit.ViolationSet
+			if errors.As(batch.Errs[i], &vs) {
+				// Collect-mode verdict: the per-rule summary reads better
+				// than the wrapped error chain.
+				fmt.Fprintf(os.Stderr, "finereg-sim: %s: %s\n", jobList[i].Label, vs.Summary())
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "finereg-sim: %v\n", batch.Errs[i])
 		}
 		fmt.Fprintf(os.Stderr, "finereg-sim: %d/%d runs failed\n", len(failed), len(jobList))

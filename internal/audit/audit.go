@@ -22,8 +22,10 @@ package audit
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"finereg/internal/mem"
 	"finereg/internal/sm"
 )
 
@@ -32,6 +34,10 @@ import (
 // regardless; the periodic sweep bounds how long a drift that does not
 // change CTA counts (e.g. a leaked awake counter) can go unnoticed.
 const DefaultInterval = 4096
+
+// DefaultMaxViolations caps how many violations collect mode retains in
+// full (with state dumps); further violations are still counted per rule.
+const DefaultMaxViolations = 32
 
 // Violation is a failed invariant: which SM, when, which rule, and the
 // mismatching values, plus a rendered dump of the SM's resident state.
@@ -80,23 +86,84 @@ func sigOf(s *sm.SM) sig {
 	}
 }
 
+// Options configures an Auditor.
+type Options struct {
+	// Interval is the periodic full-sweep period in cycles (<= 0 uses
+	// DefaultInterval).
+	Interval int64
+	// ContinueOnViolation switches the auditor from fail-fast to
+	// collect-all: instead of aborting the run at the first violation, the
+	// auditor records it and lets the simulation continue, so one run
+	// surfaces every distinct drift (a single root cause often trips
+	// several rules; fail-fast shows only the first). Final then reports
+	// the whole harvest as one *ViolationSet error.
+	ContinueOnViolation bool
+	// MaxViolations caps how many violations are retained in full in
+	// collect mode (<= 0 uses DefaultMaxViolations). The per-rule counts
+	// keep counting past the cap, so the summary stays truthful.
+	MaxViolations int
+}
+
 // Auditor drives invariant checking over a set of SMs. One Auditor per
 // run; it is not safe for concurrent use (gpu.Run is single-threaded).
 type Auditor struct {
 	// Interval is the periodic full-sweep period in cycles.
 	Interval int64
+	// Hier, when set, extends full sweeps and the final check with the
+	// shared memory-hierarchy invariants (CheckHierarchy). gpu.Run wires
+	// the machine's hierarchy in.
+	Hier *mem.Hierarchy
 
+	opts Options
 	next int64
 	sigs []sig
+
+	// collect-mode harvest
+	kept   []*Violation
+	total  int
+	byRule map[string]int
 }
 
 // New returns an Auditor sweeping every interval cycles (<= 0 uses
 // DefaultInterval).
 func New(interval int64) *Auditor {
-	if interval <= 0 {
-		interval = DefaultInterval
+	return NewWithOptions(Options{Interval: interval})
+}
+
+// NewWithOptions returns an Auditor configured by opts.
+func NewWithOptions(opts Options) *Auditor {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
 	}
-	return &Auditor{Interval: interval}
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = DefaultMaxViolations
+	}
+	return &Auditor{Interval: opts.Interval, opts: opts, byRule: map[string]int{}}
+}
+
+// check applies one SM check under the configured failure mode: fail-fast
+// returns the violation; collect mode records it and reports success so
+// the run continues.
+func (a *Auditor) check(s *sm.SM, now int64) error {
+	err := CheckSM(s, now)
+	if err == nil || !a.opts.ContinueOnViolation {
+		return err
+	}
+	a.record(err)
+	return nil
+}
+
+// record harvests a violation in collect mode.
+func (a *Auditor) record(err error) {
+	v, ok := err.(*Violation)
+	if !ok {
+		v = &Violation{Rule: "unknown", Detail: err.Error()}
+	}
+	a.total++
+	a.byRule[v.Rule]++
+	if len(a.kept) < a.opts.MaxViolations {
+		a.kept = append(a.kept, v)
+	}
 }
 
 // Step audits after one event step at cycle now: every SM whose lifecycle
@@ -120,7 +187,7 @@ func (a *Auditor) Step(sms []*sm.SM, now int64) error {
 	for i, s := range sms {
 		if g := sigOf(s); g != a.sigs[i] {
 			a.sigs[i] = g
-			if err := CheckSM(s, now); err != nil {
+			if err := a.check(s, now); err != nil {
 				return err
 			}
 		}
@@ -129,19 +196,108 @@ func (a *Auditor) Step(sms []*sm.SM, now int64) error {
 }
 
 func (a *Auditor) sweep(sms []*sm.SM, now int64) error {
+	if len(a.sigs) < len(sms) {
+		// Final may run on an auditor whose Step never fired (empty grid,
+		// direct use); allocate the signature slots it would have set up.
+		a.sigs = make([]sig, len(sms))
+	}
 	for i, s := range sms {
 		a.sigs[i] = sigOf(s)
-		if err := CheckSM(s, now); err != nil {
+		if err := a.check(s, now); err != nil {
 			return err
+		}
+	}
+	// The hierarchy invariants are machine-global sums, so they ride the
+	// full sweeps rather than per-SM transition checks.
+	if a.Hier != nil {
+		if err := CheckHierarchy(sms, a.Hier, now); err != nil {
+			if !a.opts.ContinueOnViolation {
+				return err
+			}
+			a.record(err)
 		}
 	}
 	return nil
 }
 
 // Final audits every SM once (end-of-run leak check: a drained machine
-// must account every resource as free).
+// must account every resource as free). In collect mode it then reports
+// the whole run's harvest: a *ViolationSet error when anything was
+// recorded, nil otherwise.
 func (a *Auditor) Final(sms []*sm.SM, now int64) error {
-	return a.sweep(sms, now)
+	if err := a.sweep(sms, now); err != nil {
+		return err
+	}
+	return a.Report()
+}
+
+// Report returns the collect-mode harvest as an error: nil when no
+// violation was recorded, otherwise a *ViolationSet with the retained
+// violations and complete per-rule counts. Fail-fast auditors always
+// report nil (their violations abort the run directly).
+func (a *Auditor) Report() error {
+	if a.total == 0 {
+		return nil
+	}
+	return &ViolationSet{Violations: a.kept, Total: a.total, ByRule: a.byRule}
+}
+
+// ViolationSet is the collect-mode run verdict: every violation the run
+// produced, summarized per rule, with the first MaxViolations retained in
+// full (dumps included).
+type ViolationSet struct {
+	// Violations holds the retained violations in detection order.
+	Violations []*Violation
+	// Total counts every violation, including those beyond the retention
+	// cap.
+	Total int
+	// ByRule counts violations per rule name.
+	ByRule map[string]int
+}
+
+// Error implements error: a per-rule summary line plus the first retained
+// violation in full (the complete harvest stays available via the fields).
+func (s *ViolationSet) Error() string {
+	rules := make([]string, 0, len(s.ByRule))
+	for r := range s.ByRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = fmt.Sprintf("%s x%d", r, s.ByRule[r])
+	}
+	msg := fmt.Sprintf("audit: %d violations (%s)", s.Total, strings.Join(parts, ", "))
+	if len(s.Violations) > 0 {
+		msg += "\nfirst: " + s.Violations[0].Error()
+	}
+	return msg
+}
+
+// Summary renders the per-rule counts and every retained violation's
+// headline (dumps elided) — the end-of-run report CLIs print.
+func (s *ViolationSet) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d violations across %d rules\n", s.Total, len(s.ByRule))
+	rules := make([]string, 0, len(s.ByRule))
+	for r := range s.ByRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		fmt.Fprintf(&b, "  %-24s x%d\n", r, s.ByRule[r])
+	}
+	if len(s.Violations) < s.Total {
+		fmt.Fprintf(&b, "retained %d of %d in full:\n", len(s.Violations), s.Total)
+	}
+	for _, v := range s.Violations {
+		detail := ""
+		if v.Detail != "" {
+			detail = " (" + v.Detail + ")"
+		}
+		fmt.Fprintf(&b, "  SM%d @%d %s = %d, want %d%s\n", v.SM, v.Cycle, v.Rule, v.Got, v.Want, detail)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // CheckSM verifies every invariant of one SM at cycle now and returns the
@@ -351,6 +507,26 @@ func CheckSM(s *sm.SM, now int64) error {
 	// nothing scheduled during the tick may be in the past.
 	if next := s.NextEventAt(); next < now {
 		return fail("eventOverdue", next, now, "event due before the current cycle")
+	}
+
+	// L1 accounting: hit/miss conservation (Hits is maintained on a
+	// different code path than Accesses/Misses, so the sum is a real
+	// check) and tag-array residency (lines only become valid via miss
+	// fills, so the resident count can exceed neither the cumulative
+	// misses nor the capacity).
+	if l1 := s.L1; l1 != nil {
+		if l1.Hits+l1.Misses != l1.Accesses {
+			return fail("mem:l1Conservation", l1.Hits+l1.Misses, l1.Accesses,
+				fmt.Sprintf("hits %d + misses %d vs accesses", l1.Hits, l1.Misses))
+		}
+		resident := int64(l1.ResidentLines())
+		if resident > l1.Misses {
+			return fail("mem:l1Residency", resident, l1.Misses,
+				"valid lines exceed cumulative miss fills")
+		}
+		if lines := int64(l1.SizeBytes() / mem.LineBytes); resident > lines {
+			return fail("mem:l1Residency", resident, lines, "valid lines exceed capacity")
+		}
 	}
 
 	// Policy accounting.

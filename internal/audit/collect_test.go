@@ -1,0 +1,122 @@
+package audit_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"finereg/internal/audit"
+	"finereg/internal/mem"
+	"finereg/internal/sm"
+)
+
+// TestCollectMode: with ContinueOnViolation the auditor records drift
+// instead of aborting — Step keeps returning nil so the run continues —
+// and Final delivers the whole harvest as one *ViolationSet.
+func TestCollectMode(t *testing.T) {
+	r := newRig(t, 48)
+	a := audit.NewWithOptions(audit.Options{Interval: 64, ContinueOnViolation: true})
+	a.Hier = r.s.Hier
+	sms := []*sm.SM{r.s}
+
+	// Seed two persistent drifts caught by different checkers (CheckSM
+	// reports one violation per SM per check, so the pair must not share
+	// a checker); every subsequent sweep re-detects them, so the totals
+	// grow while the run survives.
+	injected := false
+	end := r.run(t, func(now int64) bool {
+		if err := a.Step(sms, now); err != nil {
+			t.Fatalf("collect-mode Step returned an error at %d: %v", now, err)
+		}
+		if !injected && now > 3000 && r.s.ActiveCTAs() > 0 {
+			r.s.InjectMemSkew("hits", -1)
+			r.s.Hier.DRAM.InjectLedgerSkew(mem.TrafficContext, 64)
+			injected = true
+		}
+		return now < 20000
+	})
+	if !injected {
+		t.Fatal("rig never reached an injectable state")
+	}
+
+	err := a.Final(sms, end)
+	var set *audit.ViolationSet
+	if !errors.As(err, &set) {
+		t.Fatalf("Final: want *audit.ViolationSet, got %v", err)
+	}
+	if set.Total < 2 {
+		t.Fatalf("two persistent drifts yielded Total=%d", set.Total)
+	}
+	if set.ByRule["mem:l1Conservation"] == 0 {
+		t.Errorf("harvest missed the L1 conservation skew: %v", set.ByRule)
+	}
+	if set.ByRule["mem:dramLedger"] == 0 {
+		t.Errorf("harvest missed the DRAM ledger skew: %v", set.ByRule)
+	}
+	if len(set.Violations) == 0 || len(set.Violations) > audit.DefaultMaxViolations {
+		t.Errorf("retained %d violations, want (0, %d]", len(set.Violations), audit.DefaultMaxViolations)
+	}
+	for _, want := range []string{"violations", "mem:l1Conservation", "mem:dramLedger"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Error() lacks %q:\n%s", want, err)
+		}
+	}
+	sum := set.Summary()
+	for _, want := range []string{"mem:l1Conservation", "mem:dramLedger"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary() lacks %q:\n%s", want, sum)
+		}
+	}
+
+	// Revert: a fresh collect-mode auditor over the healed machine reports
+	// nil, proving the harvest above came from the seeded drift alone.
+	r.s.InjectMemSkew("hits", 1)
+	r.s.Hier.DRAM.InjectLedgerSkew(mem.TrafficContext, -64)
+	clean := audit.NewWithOptions(audit.Options{ContinueOnViolation: true})
+	clean.Hier = r.s.Hier
+	if err := clean.Final(sms, end); err != nil {
+		t.Errorf("healed machine still reports: %v", err)
+	}
+}
+
+// TestCollectCap: retention stops at MaxViolations but the counts keep
+// counting, so the summary stays truthful past the cap.
+func TestCollectCap(t *testing.T) {
+	r := newRig(t, 48)
+	a := audit.NewWithOptions(audit.Options{Interval: 16, ContinueOnViolation: true, MaxViolations: 3})
+	sms := []*sm.SM{r.s}
+
+	r.run(t, func(now int64) bool {
+		if now == 0 {
+			// Persistent from the first sweep onward.
+			r.s.InjectMemSkew("accesses", 5)
+		}
+		if err := a.Step(sms, now); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		return now < 5000
+	})
+	r.s.InjectMemSkew("accesses", -5)
+
+	var set *audit.ViolationSet
+	if !errors.As(a.Report(), &set) {
+		t.Fatal("Report returned no harvest")
+	}
+	if len(set.Violations) != 3 {
+		t.Errorf("retained %d violations, want the cap of 3", len(set.Violations))
+	}
+	if set.Total <= 3 {
+		t.Errorf("Total=%d, want counting to continue past the cap", set.Total)
+	}
+	if !strings.Contains(set.Summary(), "retained 3 of") {
+		t.Errorf("Summary does not flag truncation:\n%s", set.Summary())
+	}
+}
+
+// TestFailFastReportNil: a fail-fast auditor's Report is always nil (its
+// violations abort the run directly instead of accumulating).
+func TestFailFastReportNil(t *testing.T) {
+	if err := audit.New(0).Report(); err != nil {
+		t.Errorf("fail-fast Report() = %v, want nil", err)
+	}
+}

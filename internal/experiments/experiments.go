@@ -15,6 +15,7 @@ import (
 	"finereg/internal/gpu"
 	"finereg/internal/kernels"
 	"finereg/internal/runner"
+	"finereg/internal/serve"
 	"finereg/internal/stats"
 )
 
@@ -35,10 +36,21 @@ type Options struct {
 	// with a cache across experiments to dedup repeated points between
 	// figures — finereg-experiments does exactly that.
 	Runner *runner.Engine
+	// Service, when set, sends every batch to a remote finereg-serve
+	// instance instead of the in-process engine (Runner is then ignored).
+	// Jobs cross the wire in exact form, so keys, dedup, and caching
+	// behave identically to a local run — the tables come back
+	// byte-identical.
+	Service *serve.Client
 	// Audit enables the runtime invariant auditor (internal/audit) on
 	// every simulation. Audited and unaudited runs cache separately (the
 	// flag is part of gpu.Config and therefore of the job key).
 	Audit bool
+	// AuditCollect audits in collect-all mode: violations accumulate and
+	// the run fails at the end with a *audit.ViolationSet summary instead
+	// of aborting at the first drift. Implies Audit; not part of the job
+	// key.
+	AuditCollect bool
 }
 
 // Paper returns the full-scale configuration of Table I.
@@ -57,7 +69,8 @@ func (o Options) benchNames() []string {
 
 func (o Options) config() gpu.Config {
 	cfg := gpu.Default().Scale(o.SMs)
-	cfg.Audit = o.Audit
+	cfg.Audit = o.Audit || o.AuditCollect
+	cfg.AuditCollect = o.AuditCollect
 	return cfg
 }
 

@@ -44,6 +44,12 @@ type Config struct {
 	// AuditInterval overrides the periodic sweep period in cycles
 	// (0 = audit.DefaultInterval). Transitions are audited regardless.
 	AuditInterval int64
+	// AuditCollect switches the auditor from fail-fast to collect-all:
+	// violations are recorded instead of aborting, and the run ends with a
+	// *audit.ViolationSet summarizing every drift found. Excluded from the
+	// job key (json:"-") — it changes failure reporting, not simulation
+	// behaviour, so collected and fail-fast runs share cache entries.
+	AuditCollect bool `json:"-"`
 }
 
 // Default returns the Table I machine.
@@ -160,7 +166,11 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 
 	var auditor *audit.Auditor
 	if g.Cfg.Audit {
-		auditor = audit.New(g.Cfg.AuditInterval)
+		auditor = audit.NewWithOptions(audit.Options{
+			Interval:            g.Cfg.AuditInterval,
+			ContinueOnViolation: g.Cfg.AuditCollect,
+		})
+		auditor.Hier = g.Hier
 	}
 
 	// The run loop is event-driven per SM: each SM's last-returned wake

@@ -19,8 +19,11 @@ type Cache struct {
 	tags      []uint64 // sets × ways, tag 0 = invalid (addresses are offset to avoid 0)
 	used      []int64  // LRU stamps, parallel to tags
 
-	// Accesses and Misses count probe results.
-	Accesses, Misses int64
+	// Accesses, Hits, and Misses count probe results. Hits is maintained
+	// on the hit return path, independently of the other two, so
+	// Hits + Misses == Accesses is a real conservation invariant (a skipped
+	// increment on either path breaks it) rather than a tautology.
+	Accesses, Hits, Misses int64
 
 	stamp int64
 }
@@ -68,6 +71,7 @@ func (c *Cache) Access(addr uint64) bool {
 	for i := base; i < base+c.ways; i++ {
 		if c.tags[i] == line {
 			c.used[i] = c.stamp
+			c.Hits++
 			return true
 		}
 		if c.used[i] < c.used[victim] {
@@ -86,8 +90,37 @@ func (c *Cache) Reset() {
 		c.tags[i] = 0
 		c.used[i] = 0
 	}
-	c.Accesses, c.Misses, c.stamp = 0, 0, 0
+	c.Accesses, c.Hits, c.Misses, c.stamp = 0, 0, 0, 0
 }
 
 // SizeBytes returns the cache capacity.
 func (c *Cache) SizeBytes() int { return len(c.tags) * LineBytes }
+
+// ResidentLines counts the valid lines. Lines only become valid through a
+// miss fill, so ResidentLines <= Misses (and <= capacity) at all times —
+// the residency invariant internal/audit checks.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, t := range c.tags {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// InjectAuditSkew corrupts one of the cache's probe counters by delta.
+// Tests only: it exists so mutation tests can prove the auditor detects
+// cache-accounting drift. Unknown counter names panic.
+func (c *Cache) InjectAuditSkew(counter string, delta int64) {
+	switch counter {
+	case "hits":
+		c.Hits += delta
+	case "misses":
+		c.Misses += delta
+	case "accesses":
+		c.Accesses += delta
+	default:
+		panic(fmt.Sprintf("mem: InjectAuditSkew: unknown counter %q", counter))
+	}
+}

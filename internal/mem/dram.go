@@ -28,12 +28,21 @@ type DRAM struct {
 
 	nextFree float64
 	bytes    [numTrafficClasses]int64
+
+	// accesses and gross count transfers and total bytes independently of
+	// the per-class ledger, so gross == Σ bytes[class] is a conservation
+	// invariant (a transfer booked to the wrong place, or a ledger entry
+	// mutated outside Access, breaks it).
+	accesses int64
+	gross    int64
 }
 
 // Access schedules a transfer of the given size issued at cycle now and
 // returns its completion cycle. Traffic is accounted to class.
 func (d *DRAM) Access(now int64, bytes int, class TrafficClass) int64 {
 	d.bytes[class] += int64(bytes)
+	d.accesses++
+	d.gross += int64(bytes)
 	start := float64(now)
 	if d.nextFree > start {
 		start = d.nextFree
@@ -67,6 +76,20 @@ func (d *DRAM) TotalBytes() int64 {
 		t += b
 	}
 	return t
+}
+
+// Accesses returns how many transfers the channel has serviced.
+func (d *DRAM) Accesses() int64 { return d.accesses }
+
+// GrossBytes returns total transferred bytes counted independently of the
+// per-class ledger; internal/audit checks it against TotalBytes.
+func (d *DRAM) GrossBytes() int64 { return d.gross }
+
+// InjectLedgerSkew corrupts one traffic class's ledger entry by delta
+// without touching the gross counter. Tests only: it lets mutation tests
+// prove the auditor detects ledger drift.
+func (d *DRAM) InjectLedgerSkew(class TrafficClass, delta int64) {
+	d.bytes[class] += delta
 }
 
 // Utilization returns channel-busy cycles divided by elapsed cycles.

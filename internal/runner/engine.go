@@ -35,6 +35,11 @@ type Engine struct {
 
 	mu    sync.Mutex // guards Events calls and the cumulative counters
 	total EngineStats
+
+	// gmu guards the in-flight GPU registry (StopAll/InFlight introspection
+	// for long-running front ends like internal/serve).
+	gmu     sync.Mutex
+	running map[*gpu.GPU]struct{}
 }
 
 // EngineStats accumulates scheduling counters across an Engine's batches.
@@ -59,6 +64,46 @@ func (e *Engine) Stats() EngineStats {
 
 // ErrJobTimeout marks a job stopped by the per-job wall-clock budget.
 var ErrJobTimeout = errors.New("runner: job wall-clock timeout")
+
+// track registers a job's GPU for the lifetime of its simulation.
+func (e *Engine) track(g *gpu.GPU) {
+	e.gmu.Lock()
+	if e.running == nil {
+		e.running = map[*gpu.GPU]struct{}{}
+	}
+	e.running[g] = struct{}{}
+	e.gmu.Unlock()
+}
+
+func (e *Engine) untrack(g *gpu.GPU) {
+	e.gmu.Lock()
+	delete(e.running, g)
+	e.gmu.Unlock()
+}
+
+// InFlight returns how many simulations are executing right now (cache
+// hits and queued jobs do not count). Introspection for serving front
+// ends; the value is a snapshot and may be stale by the time it is read.
+func (e *Engine) InFlight() int {
+	e.gmu.Lock()
+	defer e.gmu.Unlock()
+	return len(e.running)
+}
+
+// StopAll cooperatively stops every in-flight simulation via gpu.Stop and
+// returns how many were signalled. Each stopped job fails with
+// gpu.ErrInterrupted (not ErrJobTimeout) and the rest of its batch
+// continues; jobs not yet started are unaffected. This is the graceful-
+// shutdown hook: a server draining under a deadline bounds its wait by
+// stopping whatever is still running.
+func (e *Engine) StopAll() int {
+	e.gmu.Lock()
+	defer e.gmu.Unlock()
+	for g := range e.running {
+		g.Stop()
+	}
+	return len(e.running)
+}
 
 // PanicError is a panic inside a job converted to a typed error, carrying
 // the recovered value and stack so the failure is diagnosable without
@@ -166,6 +211,13 @@ func (w *watchdog) fire() {
 	if w.g != nil {
 		w.g.Stop()
 	}
+}
+
+// fired reports whether the timeout elapsed (vs. an external Stop).
+func (w *watchdog) fired() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.expired
 }
 
 // Run executes jobs and returns their results in submission order.
@@ -290,21 +342,38 @@ func (e *Engine) Run(jobs []*Job) *Batch {
 // the simulation becomes a *PanicError, and the optional wall-clock
 // timeout stops the GPU cooperatively (the simulator checks the flag once
 // per event step, so the stop lands promptly without leaking goroutines).
+// The job's GPU is registered with the engine for its lifetime so StopAll
+// can reach it.
 func (e *Engine) executeIsolated(j *Job) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()
-	var attach func(*gpu.GPU)
+	var w *watchdog
 	if e.Timeout > 0 {
-		w := &watchdog{}
+		w = &watchdog{}
 		timer := time.AfterFunc(e.Timeout, w.fire)
 		defer timer.Stop()
-		attach = w.attach
+	}
+	var tracked *gpu.GPU
+	defer func() {
+		if tracked != nil {
+			e.untrack(tracked)
+		}
+	}()
+	attach := func(g *gpu.GPU) {
+		tracked = g
+		e.track(g)
+		if w != nil {
+			w.attach(g)
+		}
 	}
 	res, err = execute(j, attach)
-	if errors.Is(err, gpu.ErrInterrupted) {
+	// An interrupted run is a timeout only if our watchdog pulled the
+	// trigger; otherwise the stop came from outside (StopAll during a
+	// drain) and the ErrInterrupted cause is reported as-is.
+	if errors.Is(err, gpu.ErrInterrupted) && w != nil && w.fired() {
 		err = fmt.Errorf("%w (%s): %v", ErrJobTimeout, e.Timeout, err)
 	}
 	return res, err

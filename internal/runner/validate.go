@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"fmt"
+
+	"finereg/internal/mem"
+)
+
+// Validate checks that the job is well-formed enough to admit into a batch:
+// the policy spec resolves to a factory, the kernel profile fits the
+// configured SM, and the machine geometry is constructible. It exists for
+// the serving layer (internal/serve), which accepts jobs from the network
+// and must reject garbage with a 400 instead of burning a worker on a
+// panic, but it is equally useful before submitting a long batch.
+//
+// Validation is deliberately cheap — no kernel is generated, no machine
+// built — so it can run on every admission. A job that passes may still
+// fail at run time (kernels.Build has deeper structural checks); a job
+// that fails is guaranteed not to simulate.
+func (j *Job) Validate() error {
+	if _, err := j.Policy.Factory(); err != nil {
+		return fmt.Errorf("runner: invalid job policy: %w", err)
+	}
+	p := &j.Profile
+	if p.Abbrev == "" {
+		return fmt.Errorf("runner: profile has no abbreviation")
+	}
+	if p.WarpsPerCTA < 1 {
+		return fmt.Errorf("runner: profile %s: WarpsPerCTA %d < 1", p.Abbrev, p.WarpsPerCTA)
+	}
+	if p.Regs < 1 {
+		return fmt.Errorf("runner: profile %s: Regs %d < 1", p.Abbrev, p.Regs)
+	}
+	if p.LoopTrips < 0 || p.StreamLoads < 0 || p.HotLoads < 0 ||
+		p.ComputePerIter < 0 || p.SFUPerIter < 0 || p.ShmemPerIter < 0 {
+		return fmt.Errorf("runner: profile %s: negative instruction-mix field", p.Abbrev)
+	}
+	if j.Grid < 1 {
+		return fmt.Errorf("runner: grid %d < 1", j.Grid)
+	}
+	const maxGrid = 1 << 22
+	if j.Grid > maxGrid {
+		return fmt.Errorf("runner: grid %d exceeds the %d-CTA guard", j.Grid, maxGrid)
+	}
+
+	cfg := &j.Cfg
+	if cfg.NumSMs < 1 || cfg.NumSMs > 4096 {
+		return fmt.Errorf("runner: NumSMs %d outside [1, 4096]", cfg.NumSMs)
+	}
+	smc := &cfg.SM
+	if smc.MaxCTAs < 1 || smc.MaxWarps < 1 || smc.MaxThreads < 1 || smc.NumSchedulers < 1 {
+		return fmt.Errorf("runner: SM scheduling limits must be positive (CTAs=%d warps=%d threads=%d scheds=%d)",
+			smc.MaxCTAs, smc.MaxWarps, smc.MaxThreads, smc.NumSchedulers)
+	}
+	if smc.MaxResidentCTAs < 1 {
+		return fmt.Errorf("runner: MaxResidentCTAs %d < 1", smc.MaxResidentCTAs)
+	}
+	if smc.RegFileBytes < 1 || smc.SharedMemBytes < 0 {
+		return fmt.Errorf("runner: SM memory sizes invalid (regfile=%d shared=%d)",
+			smc.RegFileBytes, smc.SharedMemBytes)
+	}
+	// A single CTA of this kernel must be schedulable at all.
+	if p.WarpsPerCTA > smc.MaxWarps {
+		return fmt.Errorf("runner: profile %s needs %d warps/CTA, SM has %d slots",
+			p.Abbrev, p.WarpsPerCTA, smc.MaxWarps)
+	}
+	if p.ThreadsPerCTA() > smc.MaxThreads {
+		return fmt.Errorf("runner: profile %s needs %d threads/CTA, SM has %d",
+			p.Abbrev, p.ThreadsPerCTA(), smc.MaxThreads)
+	}
+	if p.SharedMem > smc.SharedMemBytes {
+		return fmt.Errorf("runner: profile %s needs %d B shared memory/CTA, SM has %d",
+			p.Abbrev, p.SharedMem, smc.SharedMemBytes)
+	}
+	// Cache geometries must be constructible (sm.New panics otherwise).
+	if _, err := mem.NewCache(smc.L1Bytes, smc.L1Ways); err != nil {
+		return fmt.Errorf("runner: L1: %w", err)
+	}
+	if _, err := mem.NewCache(cfg.L2Bytes, cfg.L2Ways); err != nil {
+		return fmt.Errorf("runner: L2: %w", err)
+	}
+	if cfg.DRAMBytesPerCycle <= 0 {
+		return fmt.Errorf("runner: DRAMBytesPerCycle %v <= 0", cfg.DRAMBytesPerCycle)
+	}
+	if cfg.DRAMLatency < 0 || cfg.MaxCycles < 0 {
+		return fmt.Errorf("runner: negative DRAM latency or cycle budget")
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"finereg/internal/runner"
+)
+
+// routes wires the v1 API onto the server's mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("POST /v1/batches", s.handleSubmitBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleGetBatch)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(v)
+}
+
+func (s *Server) writeAdmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		// Load shed: tell the client to back off rather than queue
+		// unboundedly server-side.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:      err.Error(),
+			QueueDepth: len(s.queue),
+			QueueCap:   cap(s.queue),
+		})
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	job, err := req.Resolve()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	sts, _, err := s.admit([]*runner.Job{job})
+	if err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if sts[0].Coalesced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, sts[0])
+}
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "serve: batch has no jobs"})
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("serve: batch of %d exceeds the %d-job limit", len(req.Jobs), s.cfg.MaxBatch)})
+		return
+	}
+	jobs := make([]*runner.Job, 0, len(req.Jobs))
+	for i := range req.Jobs {
+		j, err := req.Jobs[i].Resolve()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("serve: job %d: %v", i, err)})
+			return
+		}
+		jobs = append(jobs, j)
+	}
+	sts, recs, err := s.admit(jobs)
+	if err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	b := s.registerBatch(recs)
+	writeJSON(w, http.StatusAccepted, BatchSubmitStatus{ID: b.id, Jobs: sts})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	rec := s.lookup(r.PathValue("id"))
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.status())
+}
+
+func (s *Server) handleGetBatch(w http.ResponseWriter, r *http.Request) {
+	b := s.lookupBatch(r.PathValue("id"))
+	if b == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: unknown batch"})
+		return
+	}
+	writeJSON(w, http.StatusOK, b.status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.Render(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Shutdown gracefully stops the server: admission closes (new submissions
+// get 503), jobs still waiting in the queue fail fast, and in-flight
+// simulations are given until ctx's deadline to finish on their own.
+// When the deadline expires the engine's cooperative stop path
+// (gpu.Stop via Engine.StopAll) interrupts whatever is still running,
+// and Shutdown waits for the workers to observe it — the simulator
+// checks the flag every event step, so that wait is prompt. Returns
+// ctx.Err() when the deadline forced a stop, nil on a clean drain.
+// Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	if !already {
+		s.draining = true
+		close(s.queue)   // workers drain the backlog (failing it fast) and exit
+		close(s.drainCh) // SSE streams terminate
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.engine.StopAll()
+		<-done
+		return ctx.Err()
+	}
+}

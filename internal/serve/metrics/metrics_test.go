@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var sb strings.Builder
+	r.Render(&sb)
+	return sb.String()
+}
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs.")
+	g := r.NewGauge("depth", "Depth.")
+	r.NewGaugeFunc("cap", "Capacity.", func() float64 { return 8 })
+	r.NewCounterFunc("exec_total", "Executed.", func() int64 { return 42 })
+
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter %d, want 5", c.Value())
+	}
+	g.Set(3)
+	g.Add(-0.5)
+	if g.Value() != 2.5 {
+		t.Errorf("gauge %v, want 2.5", g.Value())
+	}
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs.",
+		"# TYPE jobs_total counter",
+		"jobs_total 5",
+		"# TYPE depth gauge",
+		"depth 2.5",
+		"cap 8",
+		"# TYPE exec_total counter",
+		"exec_total 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	// Registration order is preserved.
+	if strings.Index(out, "jobs_total") > strings.Index(out, "exec_total") {
+		t.Error("render does not preserve registration order")
+	}
+}
+
+func TestCounterDecrementPanics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup", "")
+}
+
+func TestHistogramBucketsCumulate(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count %d, want 5", h.Count())
+	}
+	out := render(r)
+	for _, want := range []string{
+		`lat_bucket{le="0.1"} 1`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_sum 106.05",
+		"lat_count 5",
+		"# TYPE lat histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundsMustAscend(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	r.NewHistogram("bad", "", []float64{1, 1})
+}
+
+// TestConcurrentUse exercises every mutator under the race detector.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(k))
+				var sb strings.Builder
+				r.Render(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 800 {
+		t.Errorf("counter %d, want 800", c.Value())
+	}
+	if g.Value() != 800 {
+		t.Errorf("gauge %v, want 800", g.Value())
+	}
+	if h.Count() != 800 {
+		t.Errorf("histogram count %d, want 800", h.Count())
+	}
+}

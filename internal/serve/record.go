@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"finereg/internal/runner"
+)
+
+// Job lifecycle states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// Event kinds.
+const (
+	eventSubmit = "submit"
+	eventStart  = "start"
+	eventFinish = "finish"
+)
+
+// subBuffer is the per-subscriber event buffer. A job emits a handful of
+// lifecycle events, so a subscriber only lags if its connection stalls —
+// in which case the overflowing event is dropped (the terminal state is
+// always available via GET /v1/jobs/{id}).
+const subBuffer = 16
+
+// record is one admitted job: the canonical runner.Job, its lifecycle
+// state, its result, and the event log + live subscribers feeding the SSE
+// stream. The record's identity is derived from the job key, so duplicate
+// submissions resolve to the same record — the serving layer's coalescing
+// mirrors the engine's in-flight dedup one level up.
+type record struct {
+	id  string
+	key string
+	job *runner.Job
+
+	mu       sync.Mutex
+	state    string
+	events   []Event
+	subs     map[chan Event]struct{}
+	result   *runner.Result
+	errMsg   string
+	cached   bool
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+
+	// done is closed on the terminal transition (test/wait convenience).
+	done chan struct{}
+}
+
+func newRecord(id, key string, j *runner.Job) *record {
+	return &record{
+		id: id, key: key, job: j,
+		state: stateQueued,
+		subs:  map[chan Event]struct{}{},
+		done:  make(chan struct{}),
+	}
+}
+
+func unixMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+// appendEvent records one lifecycle event and forwards it to live
+// subscribers; the caller holds r.mu.
+func (r *record) appendEventLocked(kind string) {
+	ev := Event{
+		Seq:    int64(len(r.events)) + 1,
+		Kind:   kind,
+		Job:    r.id,
+		Label:  r.job.Label,
+		State:  r.state,
+		Cached: r.cached,
+		Error:  r.errMsg,
+		AtMS:   time.Now().UnixMilli(),
+	}
+	r.events = append(r.events, ev)
+	for ch := range r.subs {
+		select {
+		case ch <- ev:
+		default: // lagging subscriber: drop; terminal state stays pollable
+		}
+	}
+}
+
+// submitted marks admission.
+func (r *record) submitted() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queued = time.Now()
+	r.appendEventLocked(eventSubmit)
+}
+
+// start marks the dequeue→running transition.
+func (r *record) start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = stateRunning
+	r.started = time.Now()
+	r.appendEventLocked(eventStart)
+}
+
+// finish records the terminal state and wakes waiters. err == nil means
+// success; cached reports a cache/dedup hit.
+func (r *record) finish(res *runner.Result, err error, cached bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished = time.Now()
+	r.cached = cached
+	if err != nil {
+		r.state = stateFailed
+		r.errMsg = err.Error()
+	} else {
+		r.state = stateDone
+		r.result = res
+	}
+	r.appendEventLocked(eventFinish)
+	close(r.done)
+}
+
+// latency returns queued→finished wall time (0 until finished).
+func (r *record) latency() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished.IsZero() || r.queued.IsZero() {
+		return 0
+	}
+	return r.finished.Sub(r.queued)
+}
+
+// status snapshots the record as a JobStatus.
+func (r *record) status() JobStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return JobStatus{
+		ID:           r.id,
+		Key:          r.key,
+		Label:        r.job.Label,
+		State:        r.state,
+		Cached:       r.cached,
+		Error:        r.errMsg,
+		Result:       r.result,
+		QueuedAtMS:   unixMS(r.queued),
+		StartedAtMS:  unixMS(r.started),
+		FinishedAtMS: unixMS(r.finished),
+	}
+}
+
+// terminal reports whether the record reached done/failed.
+func (r *record) terminal() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == stateDone || r.state == stateFailed
+}
+
+// subscribe returns the event history so far and a channel carrying
+// subsequent events; cancel unregisters. If the record is already
+// terminal, past holds the full stream and the channel never fires.
+func (r *record) subscribe() (past []Event, ch chan Event, cancel func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	past = append([]Event(nil), r.events...)
+	ch = make(chan Event, subBuffer)
+	r.subs[ch] = struct{}{}
+	return past, ch, func() {
+		r.mu.Lock()
+		delete(r.subs, ch)
+		r.mu.Unlock()
+	}
+}
+
+// batchRecord groups the records of one POST /v1/batches submission.
+type batchRecord struct {
+	id   string
+	recs []*record
+}
+
+func (b *batchRecord) status() BatchStatus {
+	st := BatchStatus{ID: b.id, Total: len(b.recs)}
+	for _, r := range b.recs {
+		js := r.status()
+		st.Jobs = append(st.Jobs, js)
+		if js.Done() {
+			st.Done++
+			if js.State == stateFailed {
+				st.Failed++
+			}
+		}
+	}
+	return st
+}

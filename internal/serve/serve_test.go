@@ -1,0 +1,556 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/runner"
+)
+
+// tinyJob returns a small but real simulation job (2-SM machine, shrunken
+// grid) so service tests exercise the actual simulator.
+func tinyJob(t *testing.T, bench string, pol runner.PolicySpec) *runner.Job {
+	t.Helper()
+	p, err := kernels.ProfileByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runner.Job{
+		Cfg:     gpu.Default().Scale(2),
+		Profile: p,
+		Grid:    int(float64(p.GridCTAs)*0.1 + 0.5),
+		Policy:  pol,
+		Label:   bench + "/" + pol.Kind,
+	}
+}
+
+// newTestServer builds a Server plus an httptest front end and returns a
+// wired Client. The server is shut down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s)
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, &Client{Base: hs.URL, PollInterval: 5 * time.Millisecond, ShedBackoff: 5 * time.Millisecond}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEndToEndByteIdentical is the tentpole acceptance test: a batch
+// through the HTTP service must return byte-identical results, under the
+// same cache keys, as the same jobs run directly on a runner.Engine.
+func TestEndToEndByteIdentical(t *testing.T) {
+	jobs := []*runner.Job{
+		tinyJob(t, "CS", runner.Baseline()),
+		tinyJob(t, "CS", runner.VirtualThread()),
+		tinyJob(t, "LB", runner.FineRegDefault()),
+	}
+
+	direct := (&runner.Engine{}).Run(jobs)
+	if err := direct.Err(); err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	s, c := newTestServer(t, Config{Workers: 2, QueueCap: 8})
+	remote, err := c.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatalf("remote batch: %v", err)
+	}
+	for i := range jobs {
+		want := mustJSON(t, direct.Results[i])
+		got := mustJSON(t, remote.Results[i])
+		if !bytes.Equal(want, got) {
+			t.Errorf("job %d (%s): remote result differs from direct run\ndirect: %s\nremote: %s",
+				i, jobs[i].Label, want, got)
+		}
+	}
+
+	// Key agreement: the server derives the same content-addressed keys
+	// the engine would.
+	sub, err := c.SubmitBatch(context.Background(), []JobRequest{RequestFromJob(jobs[0])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := jobs[0].Key(runner.SimFingerprint); sub.Jobs[0].Key != want {
+		t.Errorf("server key %s != local key %s", sub.Jobs[0].Key, want)
+	}
+	if !sub.Jobs[0].Coalesced {
+		t.Error("resubmission of a completed job was not coalesced")
+	}
+	if got := s.engine.Stats().Executed; got != 3 {
+		t.Errorf("engine executed %d simulations, want 3", got)
+	}
+}
+
+// TestWarmCacheResubmit: a second submission of an already-computed batch
+// must be answered without re-simulation (the coalesce-or-cache rung of
+// the admission ladder).
+func TestWarmCacheResubmit(t *testing.T) {
+	jobs := []*runner.Job{
+		tinyJob(t, "CS", runner.Baseline()),
+		tinyJob(t, "LB", runner.Baseline()),
+	}
+	s, c := newTestServer(t, Config{Workers: 2})
+	if _, err := c.RunJobs(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	executed := s.engine.Stats().Executed
+
+	b, err := c.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.engine.Stats().Executed; got != executed {
+		t.Errorf("warm resubmission re-simulated: executed %d -> %d", executed, got)
+	}
+	for i, res := range b.Results {
+		if res == nil {
+			t.Errorf("warm resubmission job %d has no result", i)
+		}
+	}
+
+	// Even with the server-side record evicted, the engine cache answers.
+	s.mu.Lock()
+	for id := range s.records {
+		delete(s.records, id)
+	}
+	s.doneIDs = nil
+	s.mu.Unlock()
+	if _, err := c.RunJobs(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.engine.Stats().Executed; got != executed {
+		t.Errorf("evicted-record resubmission re-simulated: executed %d -> %d", executed, got)
+	}
+}
+
+// TestSSELifecycle: the event stream must deliver submit, start, and
+// finish for a job, replaying history for late subscribers.
+func TestSSELifecycle(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	sub, err := c.SubmitBatch(context.Background(), []JobRequest{RequestFromJob(tinyJob(t, "CS", runner.Baseline()))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.Jobs[0].ID
+
+	resp, err := http.Get(c.Base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	var kinds []string
+	var finish Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			kinds = append(kinds, strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			var ev Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad event payload: %v", err)
+			}
+			if ev.Kind == eventFinish {
+				finish = ev
+			}
+		}
+	}
+	// The server closes the stream after the finish event, so the scanner
+	// terminates on EOF.
+	want := []string{eventSubmit, eventStart, eventFinish}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("event kinds %v, want %v", kinds, want)
+	}
+	if finish.State != stateDone {
+		t.Errorf("finish event state %q, want %q", finish.State, stateDone)
+	}
+	if finish.Job != id {
+		t.Errorf("finish event names job %q, want %q", finish.Job, id)
+	}
+}
+
+// blockWorkers installs a testBeforeRun hook that parks every worker until
+// release is closed, reporting each dequeue on entered.
+func blockWorkers(s *Server) (entered chan *record, release chan struct{}) {
+	entered = make(chan *record, 16)
+	release = make(chan struct{})
+	s.testBeforeRun = func(rec *record) {
+		entered <- rec
+		<-release
+	}
+	return entered, release
+}
+
+// TestLoadShed: with one worker busy and the one-slot queue full, a fresh
+// submission must be shed with 429 + Retry-After and the queue-state
+// envelope, and the shed must be visible in /metrics. Nothing about the
+// shed request is retained server-side (bounded memory).
+func TestLoadShed(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	entered, release := blockWorkers(s)
+
+	submit := func(j *runner.Job) (*http.Response, error) {
+		body := mustJSON(t, RequestFromJob(j))
+		return http.Post(c.Base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	}
+
+	// A: dequeued and parked in the hook. B: occupies the queue slot.
+	respA, err := submit(tinyJob(t, "CS", runner.Baseline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subA SubmitStatus
+	if err := json.NewDecoder(respA.Body).Decode(&subA); err != nil {
+		t.Fatal(err)
+	}
+	respA.Body.Close()
+	<-entered
+	respB, err := submit(tinyJob(t, "CS", runner.VirtualThread()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respB.Body.Close()
+
+	// C: queue full -> shed.
+	respC, err := submit(tinyJob(t, "CS", runner.FineRegDefault()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respC.Body.Close()
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue returned %d, want 429", respC.StatusCode)
+	}
+	if respC.Header.Get("Retry-After") == "" {
+		t.Error("429 lacks Retry-After")
+	}
+	var eb errorBody
+	if err := json.NewDecoder(respC.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.QueueCap != 1 || eb.QueueDepth != 1 {
+		t.Errorf("shed envelope depth=%d cap=%d, want 1/1", eb.QueueDepth, eb.QueueCap)
+	}
+	s.mu.Lock()
+	nrecs := len(s.records)
+	s.mu.Unlock()
+	if nrecs != 2 {
+		t.Errorf("shed submission left state behind: %d records, want 2", nrecs)
+	}
+	if got := s.mShed.Value(); got != 1 {
+		t.Errorf("shed counter %d, want 1", got)
+	}
+
+	mresp, err := http.Get(c.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type %q", ct)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"finereg_serve_shed_total 1",
+		"finereg_serve_queue_depth 1",
+		"finereg_serve_queue_capacity 1",
+		"finereg_cache_hit_ratio",
+		"finereg_serve_job_latency_seconds_bucket",
+		"# TYPE finereg_serve_job_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics lack %q", want)
+		}
+	}
+
+	close(release)
+	rec := s.lookup(subA.ID)
+	if rec == nil {
+		t.Fatal("job A record vanished")
+	}
+	select {
+	case <-rec.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job A never finished after release")
+	}
+}
+
+// TestCoalesceInFlight: an identical submission while the first is still
+// executing must coalesce onto the same record — one simulation, one ID —
+// even across separate HTTP requests (the engine's in-flight dedup is
+// per-Run; this is the serving layer's own rung).
+func TestCoalesceInFlight(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	entered, release := blockWorkers(s)
+
+	job := tinyJob(t, "CS", runner.Baseline())
+	sub1, err := c.SubmitBatch(context.Background(), []JobRequest{RequestFromJob(job)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker holds the job pre-start
+
+	sub2, err := c.SubmitBatch(context.Background(), []JobRequest{RequestFromJob(job)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub2.Jobs[0].Coalesced {
+		t.Error("duplicate in-flight submission was not coalesced")
+	}
+	if sub1.Jobs[0].ID != sub2.Jobs[0].ID {
+		t.Errorf("duplicate got a different ID: %s vs %s", sub1.Jobs[0].ID, sub2.Jobs[0].ID)
+	}
+
+	// Duplicates within one batch also share the record.
+	sub3, err := c.SubmitBatch(context.Background(), []JobRequest{RequestFromJob(job), RequestFromJob(job)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub3.Jobs[0].ID != sub3.Jobs[1].ID {
+		t.Error("intra-batch duplicates got distinct IDs")
+	}
+
+	close(release)
+	rec := s.lookup(sub1.Jobs[0].ID)
+	select {
+	case <-rec.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never finished")
+	}
+	if got := s.engine.Stats().Executed; got != 1 {
+		t.Errorf("coalesced job executed %d times, want 1", got)
+	}
+}
+
+// TestGracefulDrain: Shutdown lets the in-flight job finish, fails queued
+// jobs fast, and rejects new submissions with 503.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 4})
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+	c := &Client{Base: hs.URL, PollInterval: 5 * time.Millisecond}
+	entered, release := blockWorkers(s)
+
+	subA, err := c.SubmitBatch(context.Background(), []JobRequest{RequestFromJob(tinyJob(t, "CS", runner.Baseline()))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	subB, err := c.SubmitBatch(context.Background(), []JobRequest{RequestFromJob(tinyJob(t, "LB", runner.Baseline()))})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	// Draining: new submissions are refused with 503.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if s.isDraining() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered draining state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err = c.SubmitBatch(context.Background(), []JobRequest{RequestFromJob(tinyJob(t, "HS", runner.Baseline()))})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Errorf("submission during drain: got %v, want 503", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	stA := s.lookup(subA.Jobs[0].ID).status()
+	if stA.State != stateDone {
+		t.Errorf("in-flight job state %q after drain, want %q (err %q)", stA.State, stateDone, stA.Error)
+	}
+	stB := s.lookup(subB.Jobs[0].ID).status()
+	if stB.State != stateFailed || !strings.Contains(stB.Error, "draining") {
+		t.Errorf("queued job state %q err %q, want fast drain failure", stB.State, stB.Error)
+	}
+
+	// Shutdown is idempotent.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+// TestBadRequests pins the 400/404 surfaces.
+func TestBadRequests(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxBatch: 2})
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		resp, err := http.Post(c.Base+path, "application/json", bytes.NewReader(mustJSON(t, body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	expect := func(resp *http.Response, code int, msg string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != code {
+			t.Errorf("status %d, want %d", resp.StatusCode, code)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("error envelope: %v", err)
+		}
+		if msg != "" && !strings.Contains(eb.Error, msg) {
+			t.Errorf("error %q lacks %q", eb.Error, msg)
+		}
+	}
+
+	expect(post("/v1/jobs", JobRequest{Bench: "NOPE", Policy: runner.Baseline()}), 400, "")
+	expect(post("/v1/jobs", JobRequest{Policy: runner.Baseline()}), 400, "neither bench nor profile")
+	expect(post("/v1/jobs", map[string]any{"bogus_field": 1}), 400, "bad request body")
+	expect(post("/v1/batches", BatchRequest{}), 400, "no jobs")
+	expect(post("/v1/batches", BatchRequest{Jobs: []JobRequest{
+		{Bench: "CS", Policy: runner.Baseline()},
+		{Bench: "LB", Policy: runner.Baseline()},
+		{Bench: "MM", Policy: runner.Baseline()},
+	}}), 400, "limit")
+	expect(post("/v1/jobs", JobRequest{Bench: "CS", Policy: runner.PolicySpec{Kind: "bogus"}}), 400, "")
+
+	for _, path := range []string{"/v1/jobs/jdeadbeef", "/v1/batches/b999999", "/v1/jobs/jdeadbeef/events"} {
+		resp, err := http.Get(c.Base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestBatchStatusProgression: batch status aggregates its jobs and
+// reports completion.
+func TestBatchStatusProgression(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	jobs := []JobRequest{
+		RequestFromJob(tinyJob(t, "CS", runner.Baseline())),
+		RequestFromJob(tinyJob(t, "CS", runner.VirtualThread())),
+	}
+	sub, err := c.SubmitBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Jobs) != 2 {
+		t.Fatalf("batch submit returned %d jobs", len(sub.Jobs))
+	}
+	st, err := c.WaitBatch(context.Background(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 2 || st.Done != 2 || st.Failed != 0 {
+		t.Errorf("final batch status %+v", st)
+	}
+	for _, js := range st.Jobs {
+		if js.Result == nil {
+			t.Errorf("job %s finished without a result", js.ID)
+		}
+		if js.QueuedAtMS == 0 || js.StartedAtMS == 0 || js.FinishedAtMS == 0 {
+			t.Errorf("job %s lacks timeline stamps: %+v", js.ID, js)
+		}
+	}
+}
+
+// TestClientShedBackoff: a shed SubmitBatch retries until capacity frees
+// up — the client side of the admission ladder — while a batch that can
+// never fit fails immediately instead of retrying forever.
+func TestClientShedBackoff(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	entered, release := blockWorkers(s)
+
+	// Park the worker on A and fill the one-slot queue with B.
+	if _, err := c.SubmitBatch(context.Background(), []JobRequest{
+		RequestFromJob(tinyJob(t, "CS", runner.Baseline()))}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if _, err := c.SubmitBatch(context.Background(), []JobRequest{
+		RequestFromJob(tinyJob(t, "CS", runner.VirtualThread()))}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A two-job batch exceeds the whole queue: fail fast, no retry loop.
+	never := []JobRequest{
+		RequestFromJob(tinyJob(t, "CS", runner.FineRegDefault())),
+		RequestFromJob(tinyJob(t, "LB", runner.FineRegDefault())),
+	}
+	if _, err := c.SubmitBatch(context.Background(), never); err == nil ||
+		!strings.Contains(err.Error(), "never fit") {
+		t.Errorf("oversize batch: got %v, want never-fit failure", err)
+	}
+
+	// A one-job submission sheds now but succeeds once the worker drains
+	// the backlog.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.SubmitBatch(context.Background(), []JobRequest{
+			RequestFromJob(tinyJob(t, "HS", runner.Baseline()))})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("submission returned %v before capacity freed", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("retrying submission failed: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("retrying submission never got through")
+	}
+}

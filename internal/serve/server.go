@@ -1,0 +1,373 @@
+// Package serve exposes the simulator fleet as a long-running HTTP/JSON
+// service: single-job and batched submissions are validated, canonicalized
+// into runner.Job keys (so duplicate in-flight and cached requests
+// coalesce for free), admitted through a bounded queue, and executed on a
+// shared run engine with its content-addressed cache. Progress streams to
+// clients as server-sent events fed from the engine's trace.JobSink
+// lifecycle stream, and /metrics exposes Prometheus-text counters.
+//
+// Admission is a degradation ladder, the same discipline FineReg applies
+// to register space (ACRF → PCRF → context switch to DRAM) applied to
+// requests: a job whose result is already known is answered immediately
+// (coalesced/cached — the ACRF hit); a fresh job waits in the bounded
+// queue for a worker (the PCRF spill); and once the queue is full the
+// server sheds load with a 429 instead of queueing unboundedly (the
+// context switch — latency traded for survival). Graceful shutdown drains
+// in-flight jobs through the engine's cooperative gpu.Stop path.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"finereg/internal/runner"
+	"finereg/internal/serve/metrics"
+	"finereg/internal/trace"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Engine executes the jobs; nil builds a default engine with an
+	// in-memory cache. The server installs a trace.Fanout as the engine's
+	// Events sink (preserving any sink already attached) so progress
+	// observers and the service's own metrics share the lifecycle stream.
+	Engine *runner.Engine
+	// Workers is the number of jobs simulated concurrently (<= 0 means
+	// GOMAXPROCS). Each worker drives one single-job engine batch at a
+	// time.
+	Workers int
+	// QueueCap bounds the admission queue; a submission that does not fit
+	// is shed with a 429 (<= 0 means DefaultQueueCap).
+	QueueCap int
+	// MaxBatch bounds jobs per batch request (<= 0 means
+	// DefaultMaxBatch).
+	MaxBatch int
+	// MaxRecords bounds retained completed job records; the oldest are
+	// evicted first (their results remain in the engine cache, so a
+	// resubmission is still answered without re-simulation). <= 0 means
+	// DefaultMaxRecords.
+	MaxRecords int
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultQueueCap   = 64
+	DefaultMaxBatch   = 256
+	DefaultMaxRecords = 4096
+	maxBatchesKept    = 1024
+)
+
+// Server is the simulation service. Create with New, serve with any
+// http.Server (Server implements http.Handler), stop with Shutdown.
+type Server struct {
+	cfg    Config
+	engine *runner.Engine
+	fan    *trace.Fanout
+	reg    *metrics.Registry
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	records  map[string]*record // by id (= key prefix)
+	batches  map[string]*batchRecord
+	batchIDs []string // insertion order, for eviction
+	doneIDs  []string // completed records, eviction order
+	queue    chan *record
+	draining bool
+	batchSeq int64
+
+	wg      sync.WaitGroup
+	drainCh chan struct{}
+
+	// test hook: runs in the worker after dequeue, before the job starts.
+	testBeforeRun func(*record)
+
+	// metrics
+	mSubmitted *metrics.Counter
+	mCoalesced *metrics.Counter
+	mShed      *metrics.Counter
+	mDone      *metrics.Counter
+	mFailed    *metrics.Counter
+	mInflight  *metrics.Gauge
+	mLatency   *metrics.Histogram
+	mSSEOpen   *metrics.Gauge
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		cfg.Engine = &runner.Engine{Cache: runner.NewCache("")}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxRecords <= 0 {
+		cfg.MaxRecords = DefaultMaxRecords
+	}
+	s := &Server{
+		cfg:     cfg,
+		engine:  cfg.Engine,
+		reg:     metrics.NewRegistry(),
+		records: map[string]*record{},
+		batches: map[string]*batchRecord{},
+		queue:   make(chan *record, cfg.QueueCap),
+		drainCh: make(chan struct{}),
+	}
+
+	// The engine's Events slot becomes a fan-out: an existing sink (a CLI
+	// progress line) keeps receiving, and the server attaches its own
+	// metrics sink alongside.
+	if fan, ok := s.engine.Events.(*trace.Fanout); ok {
+		s.fan = fan
+	} else {
+		s.fan = trace.NewFanout()
+		if s.engine.Events != nil {
+			s.fan.Subscribe(s.engine.Events)
+		}
+		s.engine.Events = s.fan
+	}
+
+	s.initMetrics()
+	s.fan.Subscribe(engineSink{s})
+	s.mux = http.NewServeMux()
+	s.routes()
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Fanout returns the engine's event fan-out so callers can attach their
+// own observers (finereg-serve subscribes a trace.Progress line).
+func (s *Server) Fanout() *trace.Fanout { return s.fan }
+
+// Registry returns the server's metrics registry (for registering extra
+// process-level series before serving).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+func (s *Server) initMetrics() {
+	r := s.reg
+	s.mSubmitted = r.NewCounter("finereg_serve_submissions_total",
+		"Job submissions accepted (including coalesced duplicates).")
+	s.mCoalesced = r.NewCounter("finereg_serve_coalesced_total",
+		"Submissions answered by an existing in-flight or completed job.")
+	s.mShed = r.NewCounter("finereg_serve_shed_total",
+		"Submissions rejected with 429 because the admission queue was full.")
+	s.mDone = r.NewCounter("finereg_serve_jobs_done_total",
+		"Jobs that finished successfully.")
+	s.mFailed = r.NewCounter("finereg_serve_jobs_failed_total",
+		"Jobs that finished with an error.")
+	s.mInflight = r.NewGauge("finereg_serve_inflight_jobs",
+		"Jobs currently executing on a worker.")
+	s.mSSEOpen = r.NewGauge("finereg_serve_sse_subscribers",
+		"Open SSE event-stream connections.")
+	s.mLatency = r.NewHistogram("finereg_serve_job_latency_seconds",
+		"Admission-to-completion latency of finished jobs.",
+		metrics.DefLatencyBuckets)
+	r.NewGaugeFunc("finereg_serve_queue_depth",
+		"Jobs waiting in the admission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	r.NewGaugeFunc("finereg_serve_queue_capacity",
+		"Admission queue capacity.",
+		func() float64 { return float64(cap(s.queue)) })
+	// Engine- and cache-level series, read at scrape time.
+	r.NewCounterFunc("finereg_engine_jobs_executed_total",
+		"Fresh simulations executed by the run engine.",
+		func() int64 { return s.engine.Stats().Executed })
+	r.NewCounterFunc("finereg_engine_cache_hits_total",
+		"Engine results served from the content-addressed cache.",
+		func() int64 { return s.engine.Stats().CacheHits })
+	r.NewGaugeFunc("finereg_engine_inflight_simulations",
+		"Simulations currently executing inside the engine.",
+		func() float64 { return float64(s.engine.InFlight()) })
+	r.NewGaugeFunc("finereg_cache_hit_ratio",
+		"Cache hits over resolved jobs (hits + fresh executions).",
+		func() float64 {
+			st := s.engine.Stats()
+			den := st.CacheHits + st.Executed
+			if den == 0 {
+				return 0
+			}
+			return float64(st.CacheHits) / float64(den)
+		})
+}
+
+// engineSink feeds engine-level lifecycle events into the server metrics;
+// it is one subscriber of the trace fan-out (a progress line is another).
+type engineSink struct{ s *Server }
+
+func (engineSink) BatchStart(int)       {}
+func (engineSink) BatchEnd()            {}
+func (engineSink) JobStart(int, string) {}
+func (e engineSink) JobDone(id int, label string, cached bool, err error) {
+	// Engine-side completion accounting happens via CounterFuncs reading
+	// Engine.Stats(); nothing to do here yet. The subscriber exists so the
+	// fan-out always has a server-side consumer and to keep the hook where
+	// richer per-event metrics would attach.
+}
+
+// fingerprint mirrors the engine's key fingerprint selection.
+func (s *Server) fingerprint() string {
+	if s.engine.Cache != nil && s.engine.Cache.Fingerprint != "" {
+		return s.engine.Cache.Fingerprint
+	}
+	return runner.SimFingerprint
+}
+
+// jobID derives the server identity from the content-addressed key.
+func jobID(key string) string { return "j" + key[:16] }
+
+// errDraining and errQueueFull classify admission failures.
+var (
+	errDraining  = fmt.Errorf("serve: server is draining")
+	errQueueFull = fmt.Errorf("serve: admission queue full")
+)
+
+// admit atomically admits a set of resolved jobs: every job is either
+// coalesced onto an existing record or enqueued; if the fresh jobs do not
+// all fit in the queue, nothing is admitted and errQueueFull is returned
+// (a batch is admitted whole or shed whole). Returns one status per job
+// in input order.
+func (s *Server) admit(jobs []*runner.Job) ([]SubmitStatus, []*record, error) {
+	fp := s.fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, nil, errDraining
+	}
+
+	type slot struct {
+		rec       *record
+		coalesced bool
+	}
+	slots := make([]slot, len(jobs))
+	var fresh []*record
+	newIDs := map[string]*record{}
+	for i, j := range jobs {
+		key := j.Key(fp)
+		id := jobID(key)
+		if rec, ok := s.records[id]; ok {
+			slots[i] = slot{rec: rec, coalesced: true}
+			continue
+		}
+		if rec, ok := newIDs[id]; ok { // duplicate within this submission
+			slots[i] = slot{rec: rec, coalesced: true}
+			continue
+		}
+		rec := newRecord(id, key, j)
+		newIDs[id] = rec
+		fresh = append(fresh, rec)
+		slots[i] = slot{rec: rec}
+	}
+
+	if len(fresh) > cap(s.queue)-len(s.queue) {
+		s.mShed.Add(int64(len(jobs)))
+		return nil, nil, errQueueFull
+	}
+	for _, rec := range fresh {
+		s.records[rec.id] = rec
+		rec.submitted()
+		s.queue <- rec // cannot block: room checked under s.mu, only admit sends
+	}
+
+	out := make([]SubmitStatus, len(jobs))
+	recs := make([]*record, len(jobs))
+	for i, sl := range slots {
+		st := sl.rec.status()
+		out[i] = SubmitStatus{ID: st.ID, Key: st.Key, State: st.State, Coalesced: sl.coalesced}
+		recs[i] = sl.rec
+		s.mSubmitted.Inc()
+		if sl.coalesced {
+			s.mCoalesced.Inc()
+		}
+	}
+	return out, recs, nil
+}
+
+// worker executes admitted jobs one at a time on the shared engine.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for rec := range s.queue {
+		if s.isDraining() {
+			// Queued but never started: fail fast so waiters unblock.
+			rec.finish(nil, errDraining, false)
+			s.completed(rec, false)
+			continue
+		}
+		if hook := s.testBeforeRun; hook != nil {
+			hook(rec)
+		}
+		rec.start()
+		s.mInflight.Add(1)
+		b := s.engine.Run([]*runner.Job{rec.job})
+		s.mInflight.Add(-1)
+		cached := b.Stats.CacheHits+b.Stats.Deduped > 0
+		rec.finish(b.Results[0], b.Errs[0], cached)
+		s.completed(rec, b.Errs[0] == nil)
+	}
+}
+
+// completed does terminal bookkeeping: counters, latency, and record
+// eviction beyond the retention cap.
+func (s *Server) completed(rec *record, ok bool) {
+	if ok {
+		s.mDone.Inc()
+	} else {
+		s.mFailed.Inc()
+	}
+	if lat := rec.latency(); lat > 0 {
+		s.mLatency.Observe(lat.Seconds())
+	}
+	s.mu.Lock()
+	s.doneIDs = append(s.doneIDs, rec.id)
+	for len(s.doneIDs) > s.cfg.MaxRecords {
+		victim := s.doneIDs[0]
+		s.doneIDs = s.doneIDs[1:]
+		delete(s.records, victim)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// lookup finds a record by id.
+func (s *Server) lookup(id string) *record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records[id]
+}
+
+// registerBatch stores a batch record (bounded history).
+func (s *Server) registerBatch(recs []*record) *batchRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batchSeq++
+	b := &batchRecord{id: fmt.Sprintf("b%06d", s.batchSeq), recs: recs}
+	s.batches[b.id] = b
+	s.batchIDs = append(s.batchIDs, b.id)
+	for len(s.batchIDs) > maxBatchesKept {
+		victim := s.batchIDs[0]
+		s.batchIDs = s.batchIDs[1:]
+		delete(s.batches, victim)
+	}
+	return b
+}
+
+func (s *Server) lookupBatch(id string) *batchRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches[id]
+}

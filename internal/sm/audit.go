@@ -124,6 +124,14 @@ func (s *SM) InjectAccountingSkew(counter string, delta int) {
 	}
 }
 
+// InjectMemSkew corrupts one of the SM's L1 probe counters by delta
+// (delegates to mem.Cache.InjectAuditSkew). Tests only: it proves the
+// auditor's memory-hierarchy conservation checks catch cache-accounting
+// drift.
+func (s *SM) InjectMemSkew(counter string, delta int64) {
+	s.L1.InjectAuditSkew(counter, delta)
+}
+
 // InjectReadySkew corrupts the ready partitions by dropping the first
 // entry of the first non-empty list (simulating a missed readyAdd — the
 // bug class where a woken warp never becomes an issue candidate). Returns

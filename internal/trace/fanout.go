@@ -1,0 +1,72 @@
+package trace
+
+import "sync"
+
+// Fanout is a JobSink multiplexer: every engine lifecycle event is
+// forwarded to each subscribed sink. It decouples the run engine's single
+// Events slot from the set of observers a long-running process wants — a
+// CLI progress line, the serving layer's per-job event streams, a metrics
+// sink — and supports subscribing and unsubscribing while batches are
+// running (a new SSE client attaches mid-flight without touching the
+// engine).
+//
+// The engine already serializes its Events calls, so subscribers see
+// events one at a time in engine order; Fanout's own lock only protects
+// the subscriber set against concurrent Subscribe/cancel. Subscribers are
+// invoked synchronously on the engine's emitting goroutine — a slow sink
+// slows the batch, exactly like a slow Engine.Events always has.
+type Fanout struct {
+	mu   sync.RWMutex
+	subs map[int]JobSink
+	next int
+}
+
+// NewFanout returns an empty multiplexer, usable as an Engine.Events sink.
+func NewFanout() *Fanout { return &Fanout{subs: map[int]JobSink{}} }
+
+// Subscribe adds sink and returns its removal function. Safe to call while
+// batches run; the sink starts receiving at the next event. The removal
+// function is idempotent.
+func (f *Fanout) Subscribe(sink JobSink) (cancel func()) {
+	f.mu.Lock()
+	id := f.next
+	f.next++
+	f.subs[id] = sink
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		delete(f.subs, id)
+		f.mu.Unlock()
+	}
+}
+
+// Subscribers returns the current subscriber count.
+func (f *Fanout) Subscribers() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.subs)
+}
+
+func (f *Fanout) each(fn func(JobSink)) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, s := range f.subs {
+		fn(s)
+	}
+}
+
+// BatchStart implements JobSink.
+func (f *Fanout) BatchStart(total int) { f.each(func(s JobSink) { s.BatchStart(total) }) }
+
+// JobStart implements JobSink.
+func (f *Fanout) JobStart(id int, label string) {
+	f.each(func(s JobSink) { s.JobStart(id, label) })
+}
+
+// JobDone implements JobSink.
+func (f *Fanout) JobDone(id int, label string, cached bool, err error) {
+	f.each(func(s JobSink) { s.JobDone(id, label, cached, err) })
+}
+
+// BatchEnd implements JobSink.
+func (f *Fanout) BatchEnd() { f.each(func(s JobSink) { s.BatchEnd() }) }

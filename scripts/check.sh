@@ -21,3 +21,9 @@ go test -race -timeout 10m -run 'TestSweepParallelWithCache|TestSweepParallelDet
 # compute-bound and a switch-heavy workload with the runtime invariant
 # auditor enabled (internal/audit); any violation fails the run.
 go run ./cmd/finereg-sim -sms 2 -bench CS,MC,LB -policy all -grid-scale 0.05 -audit >/dev/null
+# Serving gate: the HTTP service end to end — admission, coalescing, SSE
+# streaming, load shed, graceful drain, and the byte-identical comparison
+# against a direct engine run — under the race detector. Kept as its own
+# line (not folded into the -short pass above) so the service smoke can
+# never be silently dropped by a test-tag or -short policy change.
+go test -race -count=1 -timeout 10m ./internal/serve/...

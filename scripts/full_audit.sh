@@ -1,0 +1,22 @@
+#!/bin/sh
+# Full-scale audited sweep: the 16-SM, full-grid matrix that the -quick
+# gate deliberately skips — every Table II benchmark under every policy
+# with the runtime invariant auditor (internal/audit) checking each run.
+#
+# Collect-all mode (-audit-collect) is used so one bad invariant does not
+# mask others: each failing run survives to the end of its simulation and
+# reports every violation class it accumulated, then the sweep as a whole
+# exits non-zero. CI runs this weekly (see .github/workflows/ci.yml);
+# locally it takes tens of minutes on a laptop, so it is not part of
+# scripts/check.sh.
+#
+#	scripts/full_audit.sh [jobs]
+#
+# Pass a worker count to override the default of GOMAXPROCS.
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-0}"
+go run ./cmd/finereg-sim -sms 16 -bench all -policy all \
+	-jobs "$JOBS" -audit-collect >/dev/null
+echo "full audited sweep passed"
