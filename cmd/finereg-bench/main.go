@@ -33,8 +33,10 @@ import (
 
 	"finereg"
 	"finereg/internal/experiments"
+	"finereg/internal/gpu"
 	"finereg/internal/prof"
 	"finereg/internal/runner"
+	"finereg/internal/trace"
 )
 
 type report struct {
@@ -71,12 +73,25 @@ type hotpathRow struct {
 }
 
 type hotpathReport struct {
-	Date   string       `json:"date"`
-	GOOS   string       `json:"goos"`
-	GOARCH string       `json:"goarch"`
-	NumCPU int          `json:"num_cpu"`
-	Reps   int          `json:"reps"`
-	Rows   []hotpathRow `json:"rows"`
+	Date     string          `json:"date"`
+	GOOS     string          `json:"goos"`
+	GOARCH   string          `json:"goarch"`
+	NumCPU   int             `json:"num_cpu"`
+	Reps     int             `json:"reps"`
+	Rows     []hotpathRow    `json:"rows"`
+	Progress hotpathOverhead `json:"progress"`
+}
+
+// hotpathOverhead is the observability tax measurement: the quick-4sm
+// finereg cell timed with in-run progress sampling off and on (no-op
+// callback at the default period). OnOverOff should sit within run-to-run
+// noise of 1.0 — the sampler piggybacks on the event schedule and adds no
+// work between samples.
+type hotpathOverhead struct {
+	SampleEvery     int64   `json:"sample_every"`
+	OffCyclesPerSec float64 `json:"off_cycles_per_sec"`
+	OnCyclesPerSec  float64 `json:"on_cycles_per_sec"`
+	OnOverOff       float64 `json:"on_over_off"`
 }
 
 func main() {
@@ -229,7 +244,42 @@ func runHotpath() hotpathReport {
 			})
 		}
 	}
+	r.Progress = runProgressOverhead()
 	return r
+}
+
+// runProgressOverhead times the quick-4sm finereg cell with progress
+// sampling off and with a no-op callback on, best of hotpathReps each,
+// and reports the on/off throughput ratio.
+func runProgressOverhead() hotpathOverhead {
+	time1 := func(cfg finereg.Config) float64 {
+		var cycles int64
+		best := 0.0
+		for rep := 0; rep < hotpathReps; rep++ {
+			start := time.Now()
+			m, err := finereg.RunBenchmark(cfg, "CS", 256, finereg.FineReg())
+			secs := time.Since(start).Seconds()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "finereg-bench: progress overhead: %v\n", err)
+				os.Exit(1)
+			}
+			cycles = m.Cycles
+			if rep == 0 || secs < best {
+				best = secs
+			}
+		}
+		return float64(cycles) / best
+	}
+	off := finereg.ScaledConfig(4)
+	on := finereg.ScaledConfig(4)
+	on.Progress = func(trace.ProgressSample) {}
+	ov := hotpathOverhead{
+		SampleEvery:     gpu.DefaultProgressEvery,
+		OffCyclesPerSec: time1(off),
+		OnCyclesPerSec:  time1(on),
+	}
+	ov.OnOverOff = ov.OnCyclesPerSec / ov.OffCyclesPerSec
+	return ov
 }
 
 func finishProfile(stop func() error) {

@@ -4,17 +4,23 @@
 //
 //	finereg-serve [-addr :8321] [-workers N] [-queue 64] [-max-batch 256]
 //	              [-cache-dir .finereg-cache] [-no-cache] [-job-timeout 0]
-//	              [-quiet]
+//	              [-progress-every N] [-quiet]
 //
 // Endpoints:
 //
 //	POST /v1/jobs              submit one simulation
 //	POST /v1/batches           submit a batch (admitted whole or shed whole)
 //	GET  /v1/jobs/{id}         job status + result
-//	GET  /v1/jobs/{id}/events  SSE lifecycle stream (submit/start/finish)
+//	GET  /v1/jobs/{id}/events  SSE lifecycle + progress stream
 //	GET  /v1/batches/{id}      batch status
 //	GET  /metrics              Prometheus text metrics
 //	GET  /healthz              liveness (503 while draining)
+//
+// Freshly simulated jobs stream in-run `progress` SSE events (simulated
+// cycle, CTA launch/retire counts, live sim-cycles/s, telemetry op
+// deltas) sampled every -progress-every simulated cycles; the same
+// samples feed the fleet-wide /metrics series (finereg_sim_*). Pass a
+// negative -progress-every to disable in-run sampling.
 //
 // Identical jobs coalesce: in-flight duplicates share one execution, and
 // completed ones are answered from the content-addressed cache without
@@ -49,6 +55,7 @@ func main() {
 		cacheDir     = flag.String("cache-dir", ".finereg-cache", "on-disk result cache directory ('' = memory only)")
 		noCache      = flag.Bool("no-cache", false, "keep results in memory only (no disk reads or writes)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+		progEvery    = flag.Int64("progress-every", 0, "in-run sample period in simulated cycles (0 = default, negative = off)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight simulations")
 		quiet        = flag.Bool("quiet", false, "suppress the stderr progress line")
 	)
@@ -64,10 +71,11 @@ func main() {
 		Timeout: *jobTimeout,
 	}
 	srv := serve.New(serve.Config{
-		Engine:   eng,
-		Workers:  *workers,
-		QueueCap: *queueCap,
-		MaxBatch: *maxBatch,
+		Engine:        eng,
+		Workers:       *workers,
+		QueueCap:      *queueCap,
+		MaxBatch:      *maxBatch,
+		ProgressEvery: *progEvery,
 	})
 	if !*quiet {
 		progress := trace.NewProgress(os.Stderr)

@@ -8,6 +8,7 @@
 //	            [-sms 16] [-grid-scale 1.0] [-srp 0.25] [-dram-cap 4] [-v]
 //	            [-json | -csv] [-stalls] [-audit] [-audit-collect]
 //	            [-jobs N] [-cache-dir ''] [-no-cache] [-job-timeout 0]
+//	            [-progress] [-progress-every N]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -json and -csv replace the table with machine-readable output on stdout
@@ -15,6 +16,12 @@
 // -stalls attaches the stall-attribution tracer to every run so the
 // records carry the warp-slot cycle breakdown (small simulation slowdown,
 // no timing change).
+//
+// -progress renders a live status line on stderr — jobs done plus
+// cumulative simulated cycles and the live sim-cycles/s rate, sampled
+// in-run every -progress-every simulated cycles (default
+// gpu.DefaultProgressEvery). Sampling is observation only: results and
+// cache keys are byte-identical with it on or off.
 //
 // Runs are scheduled through the run engine (internal/runner): -jobs sets
 // the worker count (default GOMAXPROCS), -cache-dir enables the on-disk
@@ -42,6 +49,7 @@ import (
 	"finereg/internal/prof"
 	"finereg/internal/runner"
 	"finereg/internal/stats"
+	"finereg/internal/trace"
 )
 
 func main() {
@@ -62,6 +70,8 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory ('' = no disk cache)")
 		noCache    = flag.Bool("no-cache", false, "disable the on-disk cache even if -cache-dir is set")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+		progress   = flag.Bool("progress", false, "render a live stderr status line with in-run simulation progress")
+		progEvery  = flag.Int64("progress-every", 0, "in-run sample period in simulated cycles (0 = default; needs -progress)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation batch to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation batch to this file")
 	)
@@ -91,6 +101,16 @@ func main() {
 		Jobs:    *jobs,
 		Cache:   runner.NewCache(dir),
 		Timeout: *jobTimeout,
+	}
+	if *progress {
+		every := *progEvery
+		if every <= 0 {
+			every = gpu.DefaultProgressEvery
+		}
+		line := trace.NewProgress(os.Stderr)
+		eng.Events = line
+		eng.ProgressEvery = every
+		defer line.Close()
 	}
 
 	var jobList []*runner.Job

@@ -5,9 +5,11 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"finereg/internal/kernels"
+	"finereg/internal/trace"
 )
 
 // The golden matrix pins the simulator's cycle-exact timing: every cell is
@@ -125,6 +127,12 @@ func TestGoldenCycleExactness(t *testing.T) {
 		return
 	}
 
+	compareGolden(t, cases)
+}
+
+// compareGolden checks the freshly computed cases against the snapshot.
+func compareGolden(t *testing.T, cases []goldenCase) {
+	t.Helper()
 	raw, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("missing golden snapshot (run with -update-golden to create): %v", err)
@@ -152,4 +160,41 @@ func TestGoldenCycleExactness(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestGoldenProgressSampling re-runs the pinned matrix with in-run
+// progress sampling enabled — a no-op callback at a short period, so
+// samples fire constantly — and holds the cells to the same snapshot.
+// This is the observability layer's byte-identity proof: sampling rides
+// the wake schedule, never inserts an event step, and must not move a
+// single cycle in any policy × scheduler cell.
+func TestGoldenProgressSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix sweep skipped in -short")
+	}
+	var sampled atomic.Int64
+	cfg := Config(2)
+	cfg.ProgressEvery = 1024
+	cfg.Progress = func(trace.ProgressSample) { sampled.Add(1) }
+
+	cases := goldenKernels(t)
+	for i := range cases {
+		gc := &cases[i]
+		outs, err := RunMatrix(cfg, gc.profile(t), gc.Grid)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", gc.Kernel, gc.Grid, err)
+		}
+		for _, o := range outs {
+			gc.Cells = append(gc.Cells, goldenCell{
+				Label:        o.Label,
+				Instructions: o.Metrics.Instructions,
+				CTAsLaunched: o.Metrics.CTAsLaunched,
+				Cycles:       o.Metrics.Cycles,
+			})
+		}
+	}
+	if sampled.Load() == 0 {
+		t.Fatal("progress callback never fired — the matrix ran unsampled, proving nothing")
+	}
+	compareGolden(t, cases)
 }

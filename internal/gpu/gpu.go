@@ -9,13 +9,24 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"finereg/internal/audit"
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
 	"finereg/internal/sm"
 	"finereg/internal/stats"
+	"finereg/internal/telemetry"
 	"finereg/internal/trace"
+)
+
+// Run-level telemetry: cumulative simulated cycles and instructions
+// across every run in the process. Updated at progress sample points (so
+// the serving layer's gauges read live) and reconciled at run end (so
+// unsampled runs still count).
+var (
+	telCycles       = telemetry.NewCounter("gpu_cycles")
+	telInstructions = telemetry.NewCounter("gpu_instructions")
 )
 
 // Config is the whole-GPU configuration (Table I by default).
@@ -50,7 +61,27 @@ type Config struct {
 	// job key (json:"-") — it changes failure reporting, not simulation
 	// behaviour, so collected and fail-fast runs share cache entries.
 	AuditCollect bool `json:"-"`
+
+	// Progress, when non-nil, receives periodic trace.ProgressSample
+	// observations from Run: one at the first event step at or after each
+	// ProgressEvery-cycle boundary, plus a Final sample at run end.
+	// Sampling is event-core-aware — it piggybacks on the wake schedule
+	// and never adds an event step — so metrics are byte-identical with
+	// Progress on or off (pinned by audit/diff's golden matrix). Both
+	// fields are excluded from the job key (json:"-"), like AuditCollect:
+	// they change observation, not simulation, so sampled and unsampled
+	// runs share cache entries. The callback runs on the simulating
+	// goroutine; a slow callback slows the run.
+	Progress func(trace.ProgressSample) `json:"-"`
+	// ProgressEvery is the sample period in simulated cycles
+	// (0 = DefaultProgressEvery).
+	ProgressEvery int64 `json:"-"`
 }
+
+// DefaultProgressEvery is the Progress sample period when
+// Config.ProgressEvery is zero: ~15 samples/s at the event core's typical
+// 1-2M sim-cycles/s, comfortably amortizing the O(NumSMs) sample cost.
+const DefaultProgressEvery = 100_000
 
 // Default returns the Table I machine.
 func Default() Config {
@@ -149,6 +180,74 @@ var ErrInterrupted = errors.New("gpu: simulation interrupted")
 
 const farFuture = int64(1) << 62
 
+// progressState carries one run's sampling bookkeeping: the next sample
+// boundary, the previous sample's cumulative readings (for deltas and the
+// live rate), and the previous telemetry snapshot.
+type progressState struct {
+	cb     func(trace.ProgressSample)
+	every  int64
+	nextAt int64
+
+	start     time.Time
+	lastWall  time.Time
+	lastCycle int64
+	lastInstr int64
+	lastOps   telemetry.Snapshot
+}
+
+func newProgressState(cb func(trace.ProgressSample), every int64) *progressState {
+	if every <= 0 {
+		every = DefaultProgressEvery
+	}
+	now := time.Now()
+	return &progressState{
+		cb:       cb,
+		every:    every,
+		nextAt:   every, // no sample at cycle 0
+		start:    now,
+		lastWall: now,
+		lastOps:  telemetry.Capture(),
+	}
+}
+
+// sampleProgress collects one observation at cycle now and invokes the
+// callback. It reads SM counters but mutates nothing in the machine, so
+// the event sequence — and every metric — is unchanged by sampling.
+func (g *GPU) sampleProgress(p *progressState, now int64, final bool) {
+	wall := time.Now()
+	var launched, instr int64
+	resident := 0
+	for _, s := range g.SMs {
+		launched += s.Cnt.CTAsLaunched
+		instr += s.Cnt.Instructions
+		resident += len(s.Residents())
+	}
+	cycD, instrD := now-p.lastCycle, instr-p.lastInstr
+	telCycles.Add(cycD)
+	telInstructions.Add(instrD)
+	ops := telemetry.Capture()
+	rate := 0.0
+	if dt := wall.Sub(p.lastWall).Seconds(); dt > 0 {
+		rate = float64(cycD) / dt
+	}
+	sample := trace.ProgressSample{
+		Cycle:        now,
+		CycleDelta:   cycD,
+		GridCTAs:     int64(g.disp.total),
+		CTAsLaunched: launched,
+		CTAsRetired:  launched - int64(resident),
+		Instructions: instr,
+		WallMS:       wall.Sub(p.start).Milliseconds(),
+		CyclesPerSec: rate,
+		Final:        final,
+		Ops:          ops.Delta(p.lastOps),
+	}
+	p.lastCycle, p.lastInstr = now, instr
+	p.lastWall, p.lastOps = wall, ops
+	p.nextAt = now + p.every
+	p.cb(sample)
+}
+
 // Run executes kernel k to completion and returns its metrics.
 func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 	g.disp.next, g.disp.total = 0, k.GridCTAs
@@ -162,6 +261,11 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 	}
 	if g.sink != nil {
 		g.sink.RunStart(k.Name(), len(g.SMs))
+	}
+
+	var prog *progressState
+	if g.Cfg.Progress != nil {
+		prog = newProgressState(g.Cfg.Progress, g.Cfg.ProgressEvery)
 	}
 
 	var auditor *audit.Auditor
@@ -225,6 +329,14 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 		if residentSMs == 0 && g.disp.Remaining() == 0 {
 			break
 		}
+		// Sampling rides the wake schedule: the check costs one compare
+		// when progress is off, and a due sample fires at the event step
+		// already being executed — never by inserting one. The final
+		// iteration is covered by the Final sample below, so a periodic
+		// sample never duplicates it.
+		if prog != nil && now >= prog.nextAt {
+			g.sampleProgress(prog, now, false)
+		}
 		if next == farFuture {
 			return nil, fmt.Errorf("%w: %d CTAs unfinished at cycle %d\n%s", ErrDeadlock, g.residentCount(), now, g.debugResidents())
 		}
@@ -246,6 +358,19 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 	}
 	if g.sink != nil {
 		g.sink.RunEnd(now)
+	}
+	// Every completed run reconciles the process-wide cycle/instruction
+	// telemetry: sampled runs via the Final sample's deltas, unsampled
+	// runs in one shot here.
+	if prog != nil {
+		g.sampleProgress(prog, now, true)
+	} else {
+		telCycles.Add(now)
+		var instr int64
+		for _, s := range g.SMs {
+			instr += s.Cnt.Instructions
+		}
+		telInstructions.Add(instr)
 	}
 	return g.collect(k, now), nil
 }

@@ -1,0 +1,115 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"finereg/internal/kernels"
+	"finereg/internal/stats"
+	"finereg/internal/trace"
+)
+
+// runWithProgress executes one CS run with the given sample period and
+// returns the metrics plus every sample delivered.
+func runWithProgress(t *testing.T, every int64) (*stats.Metrics, []trace.ProgressSample) {
+	t.Helper()
+	var samples []trace.ProgressSample
+	cfg := Default().Scale(2)
+	cfg.ProgressEvery = every
+	cfg.Progress = func(s trace.ProgressSample) { samples = append(samples, s) }
+	p, _ := kernels.ProfileByName("CS")
+	k := kernels.MustBuild(p, 32)
+	g := New(cfg, Baseline())
+	m, err := g.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, samples
+}
+
+func TestProgressSampling(t *testing.T) {
+	const every = 1000
+	m, samples := runWithProgress(t, every)
+	if len(samples) < 2 {
+		t.Fatalf("got %d samples, want at least a periodic and a final one", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if !last.Final {
+		t.Fatal("last sample must be the Final one")
+	}
+	for i, s := range samples[:len(samples)-1] {
+		if s.Final {
+			t.Fatalf("sample %d marked Final before run end", i)
+		}
+	}
+
+	// Cycles are strictly increasing and the deltas tile the run exactly.
+	var sumDelta int64
+	prev := int64(0)
+	for i, s := range samples {
+		if s.Cycle <= prev && !(i == 0 && s.Cycle > 0) {
+			t.Fatalf("sample %d cycle %d not after %d", i, s.Cycle, prev)
+		}
+		if s.CycleDelta != s.Cycle-prev {
+			t.Fatalf("sample %d delta %d, want %d", i, s.CycleDelta, s.Cycle-prev)
+		}
+		sumDelta += s.CycleDelta
+		prev = s.Cycle
+	}
+	if sumDelta != m.Cycles || last.Cycle != m.Cycles {
+		t.Fatalf("deltas sum to %d, final cycle %d, metrics report %d", sumDelta, last.Cycle, m.Cycles)
+	}
+
+	// Periodic samples respect the period: at least `every` cycles apart
+	// (the sampler fires at the first event step at or after a boundary).
+	for i := 1; i < len(samples)-1; i++ {
+		if d := samples[i].Cycle - samples[i-1].Cycle; d < every {
+			t.Errorf("samples %d..%d only %d cycles apart, want >= %d", i-1, i, d, every)
+		}
+	}
+
+	// The Final sample's cumulative counts agree with the run metrics, and
+	// every CTA has retired by then.
+	if last.CTAsLaunched != m.CTAsLaunched {
+		t.Errorf("final CTAsLaunched %d, metrics %d", last.CTAsLaunched, m.CTAsLaunched)
+	}
+	if last.Instructions != m.Instructions {
+		t.Errorf("final Instructions %d, metrics %d", last.Instructions, m.Instructions)
+	}
+	if last.GridCTAs != 32 || last.CTAsRetired != 32 {
+		t.Errorf("final grid/retired = %d/%d, want 32/32", last.GridCTAs, last.CTAsRetired)
+	}
+	if last.WallMS < 0 || last.CyclesPerSec < 0 {
+		t.Errorf("negative wall/rate: %d ms, %f cyc/s", last.WallMS, last.CyclesPerSec)
+	}
+}
+
+func TestProgressHugePeriodOnlyFinal(t *testing.T) {
+	_, samples := runWithProgress(t, 1<<40)
+	if len(samples) != 1 || !samples[0].Final {
+		t.Fatalf("got %d samples (final=%v), want exactly one Final sample",
+			len(samples), len(samples) > 0 && samples[len(samples)-1].Final)
+	}
+}
+
+func TestProgressByteIdenticalMetrics(t *testing.T) {
+	run := func(withProgress bool) interface{} {
+		cfg := Default().Scale(2)
+		if withProgress {
+			cfg.ProgressEvery = 500
+			cfg.Progress = func(trace.ProgressSample) {}
+		}
+		p, _ := kernels.ProfileByName("LB")
+		k := kernels.MustBuild(p, 16)
+		g := New(cfg, FineRegDefault())
+		m, err := g.Run(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	off, on := run(false), run(true)
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("metrics differ with progress sampling on:\noff: %+v\non:  %+v", off, on)
+	}
+}

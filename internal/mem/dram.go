@@ -1,6 +1,18 @@
 package mem
 
-import "math"
+import (
+	"math"
+
+	"finereg/internal/telemetry"
+)
+
+// Telemetry (internal/telemetry): off-chip channel activity, one add pair
+// per transfer (an L2-missing line or a policy DMA — far below the issue
+// rate).
+var (
+	telDRAMAccesses = telemetry.NewCounter("mem_dram_accesses")
+	telDRAMBytes    = telemetry.NewCounter("mem_dram_bytes")
+)
 
 // TrafficClass labels off-chip transfers for the Figure 15 breakdown.
 type TrafficClass uint8
@@ -43,6 +55,8 @@ func (d *DRAM) Access(now int64, bytes int, class TrafficClass) int64 {
 	d.bytes[class] += int64(bytes)
 	d.accesses++
 	d.gross += int64(bytes)
+	telDRAMAccesses.Inc()
+	telDRAMBytes.Add(int64(bytes))
 	start := float64(now)
 	if d.nextFree > start {
 		start = d.nextFree

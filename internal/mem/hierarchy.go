@@ -1,6 +1,18 @@
 package mem
 
-import "finereg/internal/isa"
+import (
+	"finereg/internal/isa"
+	"finereg/internal/telemetry"
+)
+
+// Telemetry (internal/telemetry): shared-memory-system pressure. L2
+// counts are batched per warp access (one add covering all of the
+// access's missing lines) so the hot path pays at most two atomic adds
+// per memory instruction and none when the L1 absorbs it.
+var (
+	telL2Accesses = telemetry.NewCounter("mem_l2_accesses")
+	telL2Misses   = telemetry.NewCounter("mem_l2_misses")
+)
 
 // Latencies groups the fixed on-chip access latencies (cycles).
 type Latencies struct {
@@ -58,6 +70,12 @@ func (h *Hierarchy) Access(l1 *Cache, now int64, lines []uint64, isStore bool) A
 		}
 		if !isStore && done > res.ReadyAt {
 			res.ReadyAt = done
+		}
+	}
+	if res.L1Misses > 0 {
+		telL2Accesses.Add(int64(res.L1Misses))
+		if res.L2Misses > 0 {
+			telL2Misses.Add(int64(res.L2Misses))
 		}
 	}
 	return res

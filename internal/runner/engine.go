@@ -32,6 +32,14 @@ type Engine struct {
 	// Events receives job lifecycle notifications (nil = none). Calls are
 	// serialized by the engine.
 	Events trace.JobSink
+	// ProgressEvery, when > 0, enables in-run progress sampling for every
+	// executed job at this sim-cycle period: samples flow to Events as
+	// JobProgress events (and to the job's own Cfg.Progress callback, if
+	// set). 0 leaves sampling to each job's Cfg (a job with its own
+	// Progress callback still samples, and its samples are still
+	// forwarded to Events). Sampling never changes results — the period
+	// and callback are excluded from job keys.
+	ProgressEvery int64
 
 	mu    sync.Mutex // guards Events calls and the cumulative counters
 	total EngineStats
@@ -299,7 +307,7 @@ func (e *Engine) Run(jobs []*Job) *Batch {
 			}
 			if !cached {
 				e.emit(func(s trace.JobSink) { s.JobStart(i, j.label()) })
-				f.res, f.err = e.executeIsolated(j)
+				f.res, f.err = e.executeIsolated(i, j)
 				account(func(s *BatchStats) { s.Executed++ })
 				if f.err != nil {
 					f.err = &JobError{Label: j.label(), Err: f.err}
@@ -343,13 +351,15 @@ func (e *Engine) Run(jobs []*Job) *Batch {
 // timeout stops the GPU cooperatively (the simulator checks the flag once
 // per event step, so the stop lands promptly without leaking goroutines).
 // The job's GPU is registered with the engine for its lifetime so StopAll
-// can reach it.
-func (e *Engine) executeIsolated(j *Job) (res *Result, err error) {
+// can reach it. i is the job's batch index, used to label JobProgress
+// events.
+func (e *Engine) executeIsolated(i int, j *Job) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()
+	j = e.withProgress(i, j)
 	var w *watchdog
 	if e.Timeout > 0 {
 		w = &watchdog{}
@@ -377,6 +387,36 @@ func (e *Engine) executeIsolated(j *Job) (res *Result, err error) {
 		err = fmt.Errorf("%w (%s): %v", ErrJobTimeout, e.Timeout, err)
 	}
 	return res, err
+}
+
+// withProgress splices in-run sampling into job i: when the engine or the
+// job itself enables progress, the executed copy's Cfg.Progress both
+// invokes the job's own callback and forwards the sample to Events as a
+// JobProgress event. Returns j unchanged when no sampling is wanted. The
+// shallow copy keeps the caller's Job pristine — Progress never becomes
+// part of the submitted job's identity or state.
+func (e *Engine) withProgress(i int, j *Job) *Job {
+	user := j.Cfg.Progress
+	if e.Events == nil {
+		// Nobody to forward to; the job's own callback (if any) already
+		// rides Cfg into execute.
+		return j
+	}
+	if user == nil && e.ProgressEvery <= 0 {
+		return j
+	}
+	jc := *j
+	if jc.Cfg.ProgressEvery <= 0 {
+		jc.Cfg.ProgressEvery = e.ProgressEvery
+	}
+	label := j.label()
+	jc.Cfg.Progress = func(sample trace.ProgressSample) {
+		if user != nil {
+			user(sample)
+		}
+		e.emit(func(s trace.JobSink) { s.JobProgress(i, label, sample) })
+	}
+	return &jc
 }
 
 // emit serializes an Events call; no-op when Events is nil.

@@ -121,6 +121,10 @@ func (r *Result) Clone() *Result {
 // fresh per-job trace sink. It never touches engine state, so any number
 // of executes may run concurrently. attach (optional) receives the GPU
 // before the run starts so a watchdog can Stop it.
+//
+// The job's Cfg may carry a Progress callback (excluded from the key, so
+// observed and unobserved runs share cache entries); the engine overrides
+// it via executeIsolated to splice in JobProgress event forwarding.
 func execute(j *Job, attach func(*gpu.GPU)) (*Result, error) {
 	pf, err := j.Policy.Factory()
 	if err != nil {

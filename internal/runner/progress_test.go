@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+
+	"finereg/internal/trace"
+)
+
+// progressRecorder records every JobSink callback it receives.
+type progressRecorder struct {
+	mu      sync.Mutex
+	samples []trace.ProgressSample
+	ids     []int
+	labels  []string
+	done    int
+}
+
+func (r *progressRecorder) BatchStart(int)       {}
+func (r *progressRecorder) JobStart(int, string) {}
+func (r *progressRecorder) BatchEnd()            {}
+func (r *progressRecorder) JobDone(int, string, bool, error) {
+	r.mu.Lock()
+	r.done++
+	r.mu.Unlock()
+}
+func (r *progressRecorder) JobProgress(id int, label string, s trace.ProgressSample) {
+	r.mu.Lock()
+	r.samples = append(r.samples, s)
+	r.ids = append(r.ids, id)
+	r.labels = append(r.labels, label)
+	r.mu.Unlock()
+}
+
+func TestProgressExcludedFromKey(t *testing.T) {
+	plain := tinyJob(t, "CS", Baseline())
+	sampled := tinyJob(t, "CS", Baseline())
+	sampled.Cfg.Progress = func(trace.ProgressSample) {}
+	sampled.Cfg.ProgressEvery = 64
+	if plain.Key(SimFingerprint) != sampled.Key(SimFingerprint) {
+		t.Fatal("Progress/ProgressEvery must not participate in the job key: sampled and unsampled runs share cache entries")
+	}
+}
+
+func TestEngineForwardsProgressToSink(t *testing.T) {
+	rec := &progressRecorder{}
+	e := &Engine{Jobs: 1, Events: rec, ProgressEvery: 64}
+	j := tinyJob(t, "CS", Baseline())
+	j.Label = "cs-run"
+	if err := e.Run([]*Job{j}).Err(); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.samples) == 0 {
+		t.Fatal("no progress samples reached the sink")
+	}
+	last := rec.samples[len(rec.samples)-1]
+	if !last.Final {
+		t.Error("last forwarded sample must be Final")
+	}
+	for i, id := range rec.ids {
+		if id != 0 || rec.labels[i] != "cs-run" {
+			t.Fatalf("sample %d attributed to id=%d label=%q, want 0/%q", i, id, rec.labels[i], "cs-run")
+		}
+	}
+}
+
+func TestEngineProgressComposesUserCallback(t *testing.T) {
+	var mu sync.Mutex
+	var userSamples int
+	rec := &progressRecorder{}
+	e := &Engine{Jobs: 1, Events: rec}
+	j := tinyJob(t, "CS", Baseline())
+	j.Cfg.ProgressEvery = 64
+	j.Cfg.Progress = func(trace.ProgressSample) {
+		mu.Lock()
+		userSamples++
+		mu.Unlock()
+	}
+	if err := e.Run([]*Job{j}).Err(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if userSamples == 0 {
+		t.Fatal("user callback starved")
+	}
+	if len(rec.samples) != userSamples {
+		t.Fatalf("sink saw %d samples, user callback %d — both must see every sample", len(rec.samples), userSamples)
+	}
+}
+
+func TestEngineNoEventsNoSampling(t *testing.T) {
+	// ProgressEvery on the engine without an Events sink must not graft a
+	// sampling callback onto the job.
+	e := &Engine{Jobs: 1, ProgressEvery: 64}
+	j := tinyJob(t, "CS", Baseline())
+	got := e.withProgress(0, j)
+	if got != j {
+		t.Fatal("withProgress must return the job unchanged when there is no sink")
+	}
+}

@@ -190,10 +190,11 @@ type BatchStatus struct {
 func (b *BatchStatus) Finished() bool { return b.Done >= b.Total }
 
 // Event is one entry of a job's lifecycle stream (SSE `data:` payload;
-// the kind doubles as the SSE `event:` field).
+// the kind doubles as the SSE `event:` field). "progress" events carry
+// the in-run sample fields; lifecycle events leave them zero.
 type Event struct {
 	Seq   int64  `json:"seq"`
-	Kind  string `json:"event"` // "submit", "start", "finish"
+	Kind  string `json:"event"` // "submit", "start", "progress", "finish"
 	Job   string `json:"job"`
 	Label string `json:"label,omitempty"`
 	State string `json:"state"`
@@ -202,6 +203,17 @@ type Event struct {
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
 	AtMS   int64  `json:"at_ms"`
+
+	// Progress sample payload (kind "progress" only): simulated cycle,
+	// CTA launch/retire counts against the grid total, the live
+	// sim-cycles/s rate over the last sample window, and the sparse
+	// telemetry op-count delta (PCRF spills, DMA transfers, DRAM ops...).
+	Cycle        int64            `json:"cycle,omitempty"`
+	GridCTAs     int64            `json:"grid_ctas,omitempty"`
+	CTAsLaunched int64            `json:"ctas_launched,omitempty"`
+	CTAsRetired  int64            `json:"ctas_retired,omitempty"`
+	CyclesPerSec float64          `json:"cycles_per_sec,omitempty"`
+	Ops          map[string]int64 `json:"ops,omitempty"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -73,6 +74,26 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 	r.NewGauge("dup", "")
 }
 
+// TestDuplicateRegistrationPanicNamesOffender pins the panic message: a
+// wiring bug at startup must identify which series collided, not just
+// that one did (the telemetry-derived serve series make collisions easy
+// to introduce from far-apart packages).
+func TestDuplicateRegistrationPanicNamesOffender(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("finereg_sim_gpu_cycles_total", "")
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+		msg, ok := v.(string)
+		if !ok || !strings.Contains(msg, `"finereg_sim_gpu_cycles_total"`) {
+			t.Fatalf("panic %v does not name the duplicated series", v)
+		}
+	}()
+	r.NewCounterFunc("finereg_sim_gpu_cycles_total", "", func() int64 { return 0 })
+}
+
 func TestHistogramBucketsCumulate(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogram("lat", "Latency.", []float64{0.1, 1, 10})
@@ -107,6 +128,51 @@ func TestHistogramBoundsMustAscend(t *testing.T) {
 	}()
 	r.NewHistogram("bad", "", []float64{1, 1})
 }
+
+// TestHistogramObserveConcurrent hammers Observe from many goroutines,
+// interleaved with scrapes, and checks the final buckets account for
+// every observation exactly — no update lost between the bucket scan and
+// the locked count/sum update. Run under -race this also proves the
+// immutable-bounds scan outside the lock is safe.
+func TestHistogramObserveConcurrent(t *testing.T) {
+	const (
+		workers = 16
+		perG    = 500
+	)
+	r := NewRegistry()
+	h := r.NewHistogram("obs", "", []float64{1, 2, 4, 8})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				h.Observe(float64(k % 10))
+				if k%32 == i%32 {
+					var sb strings.Builder
+					r.Render(&sb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := h.Count(); n != workers*perG {
+		t.Fatalf("count %d, want %d", n, workers*perG)
+	}
+	// Each goroutine observes 0..9 fifty times: per goroutine sum is
+	// 45*50, and the le="4" cumulative bucket holds values 0..4.
+	out := render(r)
+	wantSum := formatFloat(float64(workers) * perG / 10 * 45)
+	if !strings.Contains(out, "obs_sum "+wantSum) {
+		t.Errorf("render lacks exact sum %s:\n%s", wantSum, out)
+	}
+	if want := `obs_bucket{le="4"} ` + formatInt(workers*perG/2); !strings.Contains(out, want) {
+		t.Errorf("render lacks %q:\n%s", want, out)
+	}
+}
+
+func formatInt(n int) string { return strconv.Itoa(n) }
 
 // TestConcurrentUse exercises every mutator under the race detector.
 func TestConcurrentUse(t *testing.T) {

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"finereg/internal/runner"
+	"finereg/internal/serve/metrics"
+	"finereg/internal/trace"
 )
 
 // Job lifecycle states.
@@ -17,16 +19,24 @@ const (
 
 // Event kinds.
 const (
-	eventSubmit = "submit"
-	eventStart  = "start"
-	eventFinish = "finish"
+	eventSubmit   = "submit"
+	eventStart    = "start"
+	eventProgress = "progress"
+	eventFinish   = "finish"
 )
 
 // subBuffer is the per-subscriber event buffer. A job emits a handful of
-// lifecycle events, so a subscriber only lags if its connection stalls —
-// in which case the overflowing event is dropped (the terminal state is
+// lifecycle events plus a progress stream, so a subscriber only lags if
+// its connection stalls — in which case the overflowing event is dropped
+// and counted (finereg_serve_sse_dropped_total; the terminal state is
 // always available via GET /v1/jobs/{id}).
 const subBuffer = 16
+
+// progressKeep bounds how many progress events the record retains for
+// replay: a late subscriber sees the lifecycle history plus the most
+// recent progress window, and a long run cannot grow a record without
+// bound. Live subscribers receive every sample.
+const progressKeep = 16
 
 // record is one admitted job: the canonical runner.Job, its lifecycle
 // state, its result, and the event log + live subscribers feeding the SSE
@@ -38,16 +48,23 @@ type record struct {
 	key string
 	job *runner.Job
 
-	mu       sync.Mutex
-	state    string
-	events   []Event
-	subs     map[chan Event]struct{}
-	result   *runner.Result
-	errMsg   string
-	cached   bool
-	queued   time.Time
-	started  time.Time
-	finished time.Time
+	// dropped counts events lost to lagging subscribers (set once at
+	// admission to the server's SSE-drop counter; nil in tests that build
+	// bare records).
+	dropped *metrics.Counter
+
+	mu        sync.Mutex
+	state     string
+	seq       int64 // monotone event sequence (history may be pruned)
+	nProgress int   // progress events currently retained in events
+	events    []Event
+	subs      map[chan Event]struct{}
+	result    *runner.Result
+	errMsg    string
+	cached    bool
+	queued    time.Time
+	started   time.Time
+	finished  time.Time
 
 	// done is closed on the terminal transition (test/wait convenience).
 	done chan struct{}
@@ -72,8 +89,9 @@ func unixMS(t time.Time) int64 {
 // appendEvent records one lifecycle event and forwards it to live
 // subscribers; the caller holds r.mu.
 func (r *record) appendEventLocked(kind string) {
+	r.seq++
 	ev := Event{
-		Seq:    int64(len(r.events)) + 1,
+		Seq:    r.seq,
 		Kind:   kind,
 		Job:    r.id,
 		Label:  r.job.Label,
@@ -83,12 +101,66 @@ func (r *record) appendEventLocked(kind string) {
 		AtMS:   time.Now().UnixMilli(),
 	}
 	r.events = append(r.events, ev)
+	r.broadcastLocked(ev)
+}
+
+// broadcastLocked forwards one event to live subscribers, counting drops;
+// the caller holds r.mu.
+func (r *record) broadcastLocked(ev Event) {
 	for ch := range r.subs {
 		select {
 		case ch <- ev:
-		default: // lagging subscriber: drop; terminal state stays pollable
+		default:
+			// Lagging subscriber: drop rather than block the simulating
+			// worker; terminal state stays pollable, and the loss is
+			// visible in /metrics.
+			if r.dropped != nil {
+				r.dropped.Inc()
+			}
 		}
 	}
+}
+
+// progress records one in-run sample as a `progress` event: appended to
+// the (bounded) replay history and broadcast live. Samples arriving after
+// the terminal transition are ignored — the stream contract is that
+// finish is last.
+func (r *record) progress(s trace.ProgressSample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == stateDone || r.state == stateFailed {
+		return
+	}
+	r.seq++
+	ev := Event{
+		Seq:          r.seq,
+		Kind:         eventProgress,
+		Job:          r.id,
+		Label:        r.job.Label,
+		State:        r.state,
+		AtMS:         time.Now().UnixMilli(),
+		Cycle:        s.Cycle,
+		GridCTAs:     s.GridCTAs,
+		CTAsLaunched: s.CTAsLaunched,
+		CTAsRetired:  s.CTAsRetired,
+		CyclesPerSec: s.CyclesPerSec,
+		Ops:          s.Ops,
+	}
+	if r.nProgress >= progressKeep {
+		// Prune the oldest retained progress event; lifecycle events are
+		// always kept, so replay stays submit/start + a sliding progress
+		// window.
+		for i, old := range r.events {
+			if old.Kind == eventProgress {
+				r.events = append(r.events[:i], r.events[i+1:]...)
+				r.nProgress--
+				break
+			}
+		}
+	}
+	r.events = append(r.events, ev)
+	r.nProgress++
+	r.broadcastLocked(ev)
 }
 
 // submitted marks admission.

@@ -191,10 +191,27 @@ func TestSSELifecycle(t *testing.T) {
 		}
 	}
 	// The server closes the stream after the finish event, so the scanner
-	// terminates on EOF.
+	// terminates on EOF. Freshly executed jobs interleave progress samples
+	// (at minimum the end-of-run Final one) between start and finish; the
+	// lifecycle skeleton around them must be exact and finish must be last.
+	var lifecycle []string
+	nProgress := 0
+	for _, k := range kinds {
+		if k == eventProgress {
+			nProgress++
+			continue
+		}
+		lifecycle = append(lifecycle, k)
+	}
 	want := []string{eventSubmit, eventStart, eventFinish}
-	if strings.Join(kinds, ",") != strings.Join(want, ",") {
-		t.Fatalf("event kinds %v, want %v", kinds, want)
+	if strings.Join(lifecycle, ",") != strings.Join(want, ",") {
+		t.Fatalf("lifecycle kinds %v, want %v (full stream %v)", lifecycle, want, kinds)
+	}
+	if nProgress == 0 {
+		t.Error("fresh job streamed no progress events; the Final sample must reach the stream")
+	}
+	if kinds[len(kinds)-1] != eventFinish {
+		t.Fatalf("stream must end with finish, got %v", kinds)
 	}
 	if finish.State != stateDone {
 		t.Errorf("finish event state %q, want %q", finish.State, stateDone)

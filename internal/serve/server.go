@@ -22,8 +22,10 @@ import (
 	"runtime"
 	"sync"
 
+	"finereg/internal/gpu"
 	"finereg/internal/runner"
 	"finereg/internal/serve/metrics"
+	"finereg/internal/telemetry"
 	"finereg/internal/trace"
 )
 
@@ -49,6 +51,13 @@ type Config struct {
 	// resubmission is still answered without re-simulation). <= 0 means
 	// DefaultMaxRecords.
 	MaxRecords int
+	// ProgressEvery is the in-run progress sample period, in simulated
+	// cycles, for jobs executed by this server: samples stream to SSE
+	// subscribers as `progress` events and feed the /metrics rate gauges.
+	// 0 means gpu.DefaultProgressEvery; < 0 disables in-run sampling
+	// (lifecycle events and end-of-run telemetry still flow). Sampling
+	// never changes results or cache keys.
+	ProgressEvery int64
 }
 
 // Defaults for Config's zero values.
@@ -84,14 +93,22 @@ type Server struct {
 	testBeforeRun func(*record)
 
 	// metrics
-	mSubmitted *metrics.Counter
-	mCoalesced *metrics.Counter
-	mShed      *metrics.Counter
-	mDone      *metrics.Counter
-	mFailed    *metrics.Counter
-	mInflight  *metrics.Gauge
-	mLatency   *metrics.Histogram
-	mSSEOpen   *metrics.Gauge
+	mSubmitted  *metrics.Counter
+	mCoalesced  *metrics.Counter
+	mShed       *metrics.Counter
+	mDone       *metrics.Counter
+	mFailed     *metrics.Counter
+	mInflight   *metrics.Gauge
+	mLatency    *metrics.Histogram
+	mSSEOpen    *metrics.Gauge
+	mSSEDropped *metrics.Counter
+	mSamples    *metrics.Counter
+
+	// rates holds the live sim-cycles/s of each in-flight sampled job
+	// (updated per progress sample, removed at completion); the
+	// finereg_sim_cycles_per_sec gauge sums it at scrape time.
+	rateMu sync.Mutex
+	rates  map[string]float64
 }
 
 // New builds a Server and starts its worker pool.
@@ -111,6 +128,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxRecords <= 0 {
 		cfg.MaxRecords = DefaultMaxRecords
 	}
+	if cfg.ProgressEvery == 0 {
+		cfg.ProgressEvery = gpu.DefaultProgressEvery
+	}
 	s := &Server{
 		cfg:     cfg,
 		engine:  cfg.Engine,
@@ -119,6 +139,7 @@ func New(cfg Config) *Server {
 		batches: map[string]*batchRecord{},
 		queue:   make(chan *record, cfg.QueueCap),
 		drainCh: make(chan struct{}),
+		rates:   map[string]float64{},
 	}
 
 	// The engine's Events slot becomes a fan-out: an existing sink (a CLI
@@ -170,6 +191,10 @@ func (s *Server) initMetrics() {
 		"Jobs currently executing on a worker.")
 	s.mSSEOpen = r.NewGauge("finereg_serve_sse_subscribers",
 		"Open SSE event-stream connections.")
+	s.mSSEDropped = r.NewCounter("finereg_serve_sse_dropped_total",
+		"Events dropped because an SSE subscriber lagged behind its buffer.")
+	s.mSamples = r.NewCounter("finereg_serve_progress_samples_total",
+		"In-run progress samples received from executing simulations.")
 	s.mLatency = r.NewHistogram("finereg_serve_job_latency_seconds",
 		"Admission-to-completion latency of finished jobs.",
 		metrics.DefLatencyBuckets)
@@ -199,6 +224,44 @@ func (s *Server) initMetrics() {
 			}
 			return float64(st.CacheHits) / float64(den)
 		})
+	// Fleet-wide simulation telemetry. The aggregate live rate sums each
+	// in-flight job's last sampled sim-cycles/s; the per-op totals expose
+	// every internal/telemetry counter (process-global: all simulations
+	// this process has run, not only those submitted through the server).
+	r.NewGaugeFunc("finereg_sim_cycles_per_sec",
+		"Aggregate live simulation rate over all in-flight sampled jobs.",
+		func() float64 {
+			s.rateMu.Lock()
+			defer s.rateMu.Unlock()
+			var sum float64
+			for _, v := range s.rates {
+				sum += v
+			}
+			return sum
+		})
+	for _, c := range telemetry.Counters() {
+		c := c
+		r.NewCounterFunc("finereg_sim_"+c.Name()+"_total",
+			"Simulator op count (internal/telemetry, process-global).",
+			c.Value)
+	}
+}
+
+// onProgress is the per-record progress callback installed on admitted
+// jobs: it appends/broadcasts the SSE progress event and maintains the
+// fleet rate gauge. Runs on the simulating worker goroutine.
+func (s *Server) onProgress(rec *record) func(trace.ProgressSample) {
+	return func(ps trace.ProgressSample) {
+		rec.progress(ps)
+		s.mSamples.Inc()
+		s.rateMu.Lock()
+		if ps.Final {
+			delete(s.rates, rec.id)
+		} else {
+			s.rates[rec.id] = ps.CyclesPerSec
+		}
+		s.rateMu.Unlock()
+	}
 }
 
 // engineSink feeds engine-level lifecycle events into the server metrics;
@@ -208,6 +271,12 @@ type engineSink struct{ s *Server }
 func (engineSink) BatchStart(int)       {}
 func (engineSink) BatchEnd()            {}
 func (engineSink) JobStart(int, string) {}
+func (engineSink) JobProgress(int, string, trace.ProgressSample) {
+	// Per-record progress is wired through the job's own callback (the
+	// engine's batch-local job id cannot distinguish concurrent one-job
+	// batches); the fan-out event still serves external subscribers like
+	// the CLI progress line.
+}
 func (e engineSink) JobDone(id int, label string, cached bool, err error) {
 	// Engine-side completion accounting happens via CounterFuncs reading
 	// Engine.Stats(); nothing to do here yet. The subscriber exists so the
@@ -264,6 +333,13 @@ func (s *Server) admit(jobs []*runner.Job) ([]SubmitStatus, []*record, error) {
 			continue
 		}
 		rec := newRecord(id, key, j)
+		rec.dropped = s.mSSEDropped
+		if s.cfg.ProgressEvery > 0 {
+			// In-run sampling: excluded from the job key, so the sampled
+			// job hits the same cache entries as an unsampled twin.
+			j.Cfg.ProgressEvery = s.cfg.ProgressEvery
+			j.Cfg.Progress = s.onProgress(rec)
+		}
 		newIDs[id] = rec
 		fresh = append(fresh, rec)
 		slots[i] = slot{rec: rec}
@@ -327,6 +403,11 @@ func (s *Server) completed(rec *record, ok bool) {
 	if lat := rec.latency(); lat > 0 {
 		s.mLatency.Observe(lat.Seconds())
 	}
+	// The Final sample normally clears the rate entry; failed or
+	// interrupted runs never emit one, so clear unconditionally.
+	s.rateMu.Lock()
+	delete(s.rates, rec.id)
+	s.rateMu.Unlock()
 	s.mu.Lock()
 	s.doneIDs = append(s.doneIDs, rec.id)
 	for len(s.doneIDs) > s.cfg.MaxRecords {

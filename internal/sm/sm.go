@@ -376,6 +376,7 @@ func (s *SM) LaunchNew(now, delay int64) *CTA {
 	}
 	s.enterActive(c, now, delay)
 	s.Cnt.CTAsLaunched++
+	telCTALaunches.Inc()
 	return c
 }
 
@@ -408,6 +409,7 @@ func (s *SM) LaunchParked(now int64, st CTAState) *CTA {
 	s.statSample(now)
 	s.pendingCTAs++
 	s.Cnt.CTAsLaunched++
+	telCTALaunches.Inc()
 	if s.sink != nil {
 		s.sink.CTAEvent(s.ID, trace.CTALaunchParked, c.ID, now, 0)
 	}
@@ -515,6 +517,7 @@ func (s *SM) Reactivate(c *CTA, now, delay int64) {
 	}
 	s.enterActive(c, now, delay)
 	s.Cnt.CTASwitches++
+	telCTASwitches.Inc()
 }
 
 // warpUID derives a grid-globally unique warp identity from the CTA's
@@ -597,6 +600,7 @@ func (s *SM) dropWarpsOf(c *CTA) {
 // finishCTA releases a completed CTA's residency and notifies the policy.
 func (s *SM) finishCTA(c *CTA, now int64) {
 	c.State = CTAFinished
+	telCTARetired.Inc()
 	if s.sink != nil {
 		s.sink.CTAEvent(s.ID, trace.CTAFinish, c.ID, now, 0)
 	}
@@ -874,6 +878,7 @@ func (s *SM) block(w *Warp, until, now int64, reason trace.StallReason) {
 		c.stalledWarps++
 		if c.FullyStalled() {
 			s.Cnt.CTAStallEvents++
+			telCTAFullStall.Inc()
 			if s.sink != nil {
 				s.sink.CTAEvent(s.ID, trace.CTAFullStall, c.ID, now, 0)
 			}
@@ -1046,6 +1051,7 @@ func (s *SM) exitWarp(w *Warp, now int64) {
 	if c.FullyStalled() {
 		// The exit may have completed a full-stall condition.
 		s.Cnt.CTAStallEvents++
+		telCTAFullStall.Inc()
 		if c.EarliestWake()-now >= s.Cfg.LongStall {
 			s.Pol.OnCTAStalled(s, c, now)
 		}

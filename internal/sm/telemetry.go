@@ -1,0 +1,17 @@
+package sm
+
+import "finereg/internal/telemetry"
+
+// Process-global op counters (internal/telemetry) for in-run
+// observability: CTA lifecycle events are the SM's interesting
+// low-frequency signals — launches, context switches (the degradation
+// ladder engaging), retirements, and full-stall events. Per-instruction
+// activity is deliberately NOT counted here (it would put an atomic add
+// on the issue hot path); cumulative instruction counts reach telemetry
+// via gpu.Run's sample points instead.
+var (
+	telCTALaunches  = telemetry.NewCounter("sm_cta_launches")
+	telCTASwitches  = telemetry.NewCounter("sm_cta_switches")
+	telCTARetired   = telemetry.NewCounter("sm_cta_retired")
+	telCTAFullStall = telemetry.NewCounter("sm_cta_full_stalls")
+)

@@ -1,0 +1,125 @@
+// Package telemetry is a dependency-free global op-count registry for
+// in-run observability: simulator packages (sm, core, regfile, mem)
+// register named counters at init time and bump them with a single atomic
+// add on the paths they instrument. Nothing is aggregated, sampled, or
+// allocated until an observer asks — a process that never snapshots pays
+// only the atomic adds, and a snapshot is a cheap read of every counter,
+// so periodic deltas (gpu.Run's Progress samples, the serving layer's
+// /metrics) yield per-phase time series without touching the timing model.
+//
+// Counters are process-global by design: with one simulation running they
+// attribute exactly to that run; with several running concurrently (the
+// run engine's worker pool, the serving fleet) a delta mixes their
+// activity and reads as fleet-wide throughput — which is precisely what a
+// /metrics scrape wants. Per-run exact attribution lives in stats.Metrics;
+// telemetry is the live, cross-run view, and the two are deliberately
+// disjoint so telemetry can never perturb a result.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one named monotone count. Add/Inc are lock-free; the
+// registry lock is only taken at registration and snapshot time.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+var global struct {
+	mu     sync.RWMutex
+	byName map[string]*Counter
+	all    []*Counter // sorted by name
+}
+
+// NewCounter registers a counter under name and returns it. Registration
+// is idempotent: a second call with the same name returns the existing
+// counter, so package-level instrumentation and tests can both call it
+// without coordination. Names follow Prometheus conventions
+// (lowercase_with_underscores) because the serving layer exposes every
+// registered counter as a /metrics series.
+func NewCounter(name string) *Counter {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.byName == nil {
+		global.byName = map[string]*Counter{}
+	}
+	if c, ok := global.byName[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	global.byName[name] = c
+	i := sort.Search(len(global.all), func(i int) bool { return global.all[i].name >= name })
+	global.all = append(global.all, nil)
+	copy(global.all[i+1:], global.all[i:])
+	global.all[i] = c
+	return c
+}
+
+// Counters returns every registered counter in name order (a stable
+// iteration order for /metrics exposition). The slice is a copy; the
+// counters are the live instances.
+func Counters() []*Counter {
+	global.mu.RLock()
+	defer global.mu.RUnlock()
+	return append([]*Counter(nil), global.all...)
+}
+
+// Snapshot is a point-in-time reading of every registered counter.
+type Snapshot map[string]int64
+
+// Capture reads all counters. Each counter is read atomically; the set is
+// not a consistent cut across counters (adds may land between reads),
+// which is fine for monotone deltas.
+func Capture() Snapshot {
+	global.mu.RLock()
+	defer global.mu.RUnlock()
+	s := make(Snapshot, len(global.all))
+	for _, c := range global.all {
+		s[c.name] = c.v.Load()
+	}
+	return s
+}
+
+// Delta returns the per-counter increase since prev, omitting zero
+// entries (the usual sample payload is sparse: only the ops a phase
+// actually performed appear). Counters absent from prev count from zero.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{}
+	for name, v := range s {
+		if dv := v - prev[name]; dv != 0 {
+			d[name] = dv
+		}
+	}
+	return d
+}
+
+// SnapshotAndReset atomically swaps every counter to zero and returns the
+// values read — the measure-and-clear pattern for single-owner tools
+// (micro-benchmarks, tests). Do NOT use it while other simulations may be
+// running: it steals their in-progress deltas. Concurrent observers
+// should Capture and diff instead.
+func SnapshotAndReset() Snapshot {
+	global.mu.RLock()
+	defer global.mu.RUnlock()
+	s := make(Snapshot, len(global.all))
+	for _, c := range global.all {
+		s[c.name] = c.v.Swap(0)
+	}
+	return s
+}

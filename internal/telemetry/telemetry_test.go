@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterRegistrationIdempotent(t *testing.T) {
+	a := NewCounter("test_idempotent")
+	b := NewCounter("test_idempotent")
+	if a != b {
+		t.Fatal("re-registration returned a distinct counter")
+	}
+	a.Add(3)
+	if got := b.Value(); got != 3 {
+		t.Fatalf("aliased counter reads %d, want 3", got)
+	}
+}
+
+func TestCountersSorted(t *testing.T) {
+	NewCounter("test_sorted_b")
+	NewCounter("test_sorted_a")
+	NewCounter("test_sorted_c")
+	all := Counters()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name() >= all[i].Name() {
+			t.Fatalf("counters out of order: %q before %q", all[i-1].Name(), all[i].Name())
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	c := NewCounter("test_delta")
+	c.Add(5)
+	before := Capture()
+	c.Add(7)
+	NewCounter("test_delta_untouched")
+	d := Capture().Delta(before)
+	if d["test_delta"] != 7 {
+		t.Errorf("delta = %d, want 7", d["test_delta"])
+	}
+	if _, ok := d["test_delta_untouched"]; ok {
+		t.Error("zero-delta counter appears in sparse delta")
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	c := NewCounter("test_reset")
+	c.Add(9)
+	s := SnapshotAndReset()
+	if s["test_reset"] < 9 {
+		t.Errorf("snapshot read %d, want >= 9", s["test_reset"])
+	}
+	if got := c.Value(); got != 0 {
+		t.Errorf("counter not reset: %d", got)
+	}
+}
+
+// TestTelemetryConcurrentAdds exercises registration, adds, and captures
+// from many goroutines at once — run under -race in the serving gate.
+func TestTelemetryConcurrentAdds(t *testing.T) {
+	const goroutines, addsEach = 8, 1000
+	c := NewCounter("test_concurrent")
+	start := c.Value()
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < addsEach; i++ {
+				c.Inc()
+				if i%100 == 0 {
+					NewCounter("test_concurrent") // idempotent re-registration
+					_ = Capture()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value() - start; got != goroutines*addsEach {
+		t.Errorf("lost updates: %d adds recorded, want %d", got, goroutines*addsEach)
+	}
+}

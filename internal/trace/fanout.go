@@ -63,6 +63,11 @@ func (f *Fanout) JobStart(id int, label string) {
 	f.each(func(s JobSink) { s.JobStart(id, label) })
 }
 
+// JobProgress implements JobSink.
+func (f *Fanout) JobProgress(id int, label string, sample ProgressSample) {
+	f.each(func(s JobSink) { s.JobProgress(id, label, sample) })
+}
+
 // JobDone implements JobSink.
 func (f *Fanout) JobDone(id int, label string, cached bool, err error) {
 	f.each(func(s JobSink) { s.JobDone(id, label, cached, err) })

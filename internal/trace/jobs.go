@@ -21,6 +21,10 @@ type JobSink interface {
 	// JobStart: worker began executing job id (a cache miss; cache hits
 	// skip straight to JobDone).
 	JobStart(id int, label string)
+	// JobProgress: an in-flight job emitted a periodic progress sample
+	// (only when progress sampling is enabled; cached and deduped jobs
+	// emit none). Arrives between JobStart and JobDone.
+	JobProgress(id int, label string, sample ProgressSample)
 	// JobDone: job id finished. cached reports whether the result came
 	// from the content-addressed cache (memory or disk) or from a
 	// duplicate in-flight job rather than a fresh simulation.
@@ -29,12 +33,49 @@ type JobSink interface {
 	BatchEnd()
 }
 
+// ProgressSample is one in-run observation of a simulation, emitted by
+// gpu.Run's Progress callback on the event core's wake schedule (the
+// first event step at or after each ProgressEvery-cycle boundary, plus a
+// Final sample at run end). Samples are observation only — they never
+// feed stats.Metrics, so results are byte-identical with sampling on or
+// off.
+type ProgressSample struct {
+	// Cycle is the simulated cycle of the sample; CycleDelta the cycles
+	// simulated since the previous sample (== Cycle on the first), so
+	// consumers accumulate totals without tracking per-job state.
+	Cycle      int64 `json:"cycle"`
+	CycleDelta int64 `json:"cycle_delta"`
+	// GridCTAs is the kernel's total grid; CTAsLaunched/CTAsRetired the
+	// cumulative launch and completion counts at the sample point
+	// (launched - retired CTAs are resident).
+	GridCTAs     int64 `json:"grid_ctas"`
+	CTAsLaunched int64 `json:"ctas_launched"`
+	CTAsRetired  int64 `json:"ctas_retired"`
+	// Instructions is the cumulative warp-instruction count.
+	Instructions int64 `json:"instructions"`
+	// WallMS is wall-clock milliseconds since the run started;
+	// CyclesPerSec the live simulation rate over the last inter-sample
+	// window.
+	WallMS       int64   `json:"wall_ms"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Final marks the end-of-run sample (cumulative fields are totals).
+	Final bool `json:"final,omitempty"`
+	// Ops is the sparse telemetry delta since the previous sample
+	// (internal/telemetry counter increases: PCRF spills, DMA transfers,
+	// DRAM ops, ...). The registry is process-global, so under concurrent
+	// jobs the delta mixes fleet-wide activity; with one job running it
+	// attributes exactly.
+	Ops map[string]int64 `json:"ops,omitempty"`
+}
+
 // Progress is a JobSink that renders a single live status line — jobs
-// done/total, cache hits, failures, throughput — rewriting it in place
-// with carriage returns. Point it at stderr so machine-readable stdout
-// stays clean. Counts accumulate across batches (one experiments run
-// issues many), so the line shows whole-invocation throughput. Call Close
-// when done to terminate the line.
+// done/total, cache hits, failures, throughput, and (when jobs emit
+// progress samples) cumulative simulated cycles with the live
+// sim-cycles/s rate — rewriting it in place with carriage returns. Point
+// it at stderr so machine-readable stdout stays clean. Counts accumulate
+// across batches (one experiments run issues many), so the line shows
+// whole-invocation throughput. Call Close when done to terminate the
+// line.
 type Progress struct {
 	mu      sync.Mutex
 	w       io.Writer
@@ -44,7 +85,18 @@ type Progress struct {
 	cached  int
 	failed  int
 	lastLen int
+
+	// simCycles accumulates ProgressSample.CycleDelta across jobs; rate
+	// rendering derives from it and wall time. lastSample throttles
+	// sample-driven rerenders so high-frequency sampling cannot flood the
+	// terminal (lifecycle events always render).
+	simCycles  int64
+	sawSample  bool
+	lastSample time.Time
 }
+
+// sampleRenderPeriod caps how often JobProgress rewrites the line.
+const sampleRenderPeriod = 100 * time.Millisecond
 
 // NewProgress returns a Progress writing to w (conventionally os.Stderr).
 func NewProgress(w io.Writer) *Progress { return &Progress{w: w} }
@@ -62,6 +114,22 @@ func (p *Progress) BatchStart(total int) {
 
 // JobStart implements JobSink.
 func (p *Progress) JobStart(int, string) {}
+
+// JobProgress implements JobSink: cumulative cycles feed the status
+// line's live rate. Rerenders are throttled to sampleRenderPeriod.
+func (p *Progress) JobProgress(id int, label string, s ProgressSample) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		p.start = time.Now()
+	}
+	p.simCycles += s.CycleDelta
+	p.sawSample = true
+	if now := time.Now(); now.Sub(p.lastSample) >= sampleRenderPeriod {
+		p.lastSample = now
+		p.render()
+	}
+}
 
 // JobDone implements JobSink.
 func (p *Progress) JobDone(id int, label string, cached bool, err error) {
@@ -103,10 +171,31 @@ func (p *Progress) render() {
 	}
 	line := fmt.Sprintf("jobs %d/%d done (%d cached, %d failed) %.1f jobs/s",
 		p.done, p.total, p.cached, p.failed, rate)
+	if p.sawSample {
+		cycRate := 0.0
+		if elapsed > 0 {
+			cycRate = float64(p.simCycles) / elapsed
+		}
+		line += fmt.Sprintf(" | %s cyc @ %s cyc/s", siCount(p.simCycles), siCount(int64(cycRate)))
+	}
 	pad := ""
 	if n := p.lastLen - len(line); n > 0 {
 		pad = strings.Repeat(" ", n)
 	}
 	fmt.Fprintf(p.w, "\r%s%s", line, pad)
 	p.lastLen = len(line)
+}
+
+// siCount renders a count with an SI magnitude suffix (1.5M, 820k).
+func siCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
 }

@@ -27,3 +27,10 @@ go run ./cmd/finereg-sim -sms 2 -bench CS,MC,LB -policy all -grid-scale 0.05 -au
 # line (not folded into the -short pass above) so the service smoke can
 # never be silently dropped by a test-tag or -short policy change.
 go test -race -count=1 -timeout 10m ./internal/serve/...
+# Telemetry gate: the in-run progress path under the race detector — the
+# sampler in gpu.Run, the global op-count registry, the engine's sink
+# forwarding, and the SSE progress stream — plus the golden-matrix proof
+# that sampling leaves every cell byte-identical (not -short, so it is
+# skipped by the blanket race pass above and must run here).
+go test -race -count=1 -timeout 10m -run 'Progress|Telemetry' \
+	./internal/gpu/ ./internal/telemetry/ ./internal/runner/ ./internal/serve/ ./internal/audit/diff/

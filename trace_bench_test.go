@@ -62,6 +62,49 @@ func BenchmarkTraceNoopSink(b *testing.B) { benchRun(b, trace.Noop{}) }
 // of the experiments stalls report.
 func BenchmarkTraceAggregator(b *testing.B) { benchRun(b, trace.NewStallAggregator()) }
 
+// benchProgress executes the same workload with the given progress
+// configuration attached to the run (nil cb = sampling off).
+func benchProgress(b *testing.B, cb func(trace.ProgressSample), every int64) {
+	b.Helper()
+	prof, err := kernels.ProfileByName("CS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ScaledConfig(4)
+	cfg.Progress = cb
+	cfg.ProgressEvery = every
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		k, err := kernels.Build(prof, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := gpu.New(cfg, FineReg())
+		m, err := g.Run(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += m.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkProgressOff is the Progress == nil hot path: the run loop pays
+// one nil check per event step and nothing else. Its sim-cycles/s must
+// stay within host noise of BENCH_hotpath.json's quick-4sm finereg row
+// (same workload) — compare against BenchmarkSimulatorThroughput too.
+func BenchmarkProgressOff(b *testing.B) { benchProgress(b, nil, 0) }
+
+// BenchmarkProgressNoop attaches a no-op callback at the default period:
+// the sampling cost itself (an O(NumSMs) counter sweep per sample,
+// ~15 samples/s of simulation at typical throughput).
+func BenchmarkProgressNoop(b *testing.B) { benchProgress(b, func(trace.ProgressSample) {}, 0) }
+
+// BenchmarkProgressNoop4k oversamples 25x (every 4096 cycles) to make the
+// per-sample cost measurable at all; even this should move throughput by
+// well under the trace-sink overhead.
+func BenchmarkProgressNoop4k(b *testing.B) { benchProgress(b, func(trace.ProgressSample) {}, 4096) }
+
 // BenchmarkTraceChrome measures the tick loop streaming Chrome trace JSON
 // to a discarded writer — the serialization cost without disk I/O.
 func BenchmarkTraceChrome(b *testing.B) {
