@@ -1,10 +1,12 @@
-// finereg-serve runs the simulator as a long-lived HTTP/JSON service.
+// finereg-serve runs the simulator as a long-lived HTTP/JSON service —
+// standalone, or as a worker node of a finereg-fleet coordinator.
 //
 // Usage:
 //
 //	finereg-serve [-addr :8321] [-workers N] [-queue 64] [-max-batch 256]
 //	              [-cache-dir .finereg-cache] [-no-cache] [-job-timeout 0]
 //	              [-progress-every N] [-quiet]
+//	              [-coordinator http://host:port] [-advertise http://host:port]
 //
 // Endpoints:
 //
@@ -28,6 +30,12 @@
 // 429 + Retry-After rather than queueing unboundedly. SIGINT/SIGTERM
 // starts a graceful drain: in-flight simulations get -drain-timeout to
 // finish before being stopped cooperatively.
+//
+// Worker mode: with -coordinator set, the server mounts the coordinator
+// as its cache's remote tier (mem -> disk -> coordinator; a result
+// computed anywhere in the fleet is a local hit) and announces itself to
+// the coordinator every -announce-every as -advertise (derived from
+// -addr when unset: ":8322" advertises "http://127.0.0.1:8322").
 package main
 
 import (
@@ -38,9 +46,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"finereg/internal/fleet"
 	"finereg/internal/runner"
 	"finereg/internal/serve"
 	"finereg/internal/trace"
@@ -58,6 +68,9 @@ func main() {
 		progEvery    = flag.Int64("progress-every", 0, "in-run sample period in simulated cycles (0 = default, negative = off)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight simulations")
 		quiet        = flag.Bool("quiet", false, "suppress the stderr progress line")
+		coordinator  = flag.String("coordinator", "", "fleet coordinator base URL (worker mode: remote cache tier + self-registration)")
+		advertise    = flag.String("advertise", "", "base URL workers advertise to the coordinator (default derived from -addr)")
+		announce     = flag.Duration("announce-every", 5*time.Second, "worker re-registration period in worker mode")
 	)
 	flag.Parse()
 
@@ -65,9 +78,13 @@ func main() {
 	if *noCache {
 		dir = ""
 	}
+	cache := runner.NewCache(dir)
+	if *coordinator != "" {
+		cache.Remote = &fleet.CacheClient{Base: *coordinator}
+	}
 	eng := &runner.Engine{
 		Jobs:    *workers,
-		Cache:   runner.NewCache(dir),
+		Cache:   cache,
 		Timeout: *jobTimeout,
 	}
 	srv := serve.New(serve.Config{
@@ -90,6 +107,15 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "finereg-serve: listening on %s (cache %s)\n", *addr, cacheLabel(dir))
+
+	if *coordinator != "" {
+		self := *advertise
+		if self == "" {
+			self = deriveAdvertise(*addr)
+		}
+		fmt.Fprintf(os.Stderr, "finereg-serve: worker of %s (advertising %s)\n", *coordinator, self)
+		go fleet.AnnounceLoop(ctx, *coordinator, self, *announce, nil)
+	}
 
 	select {
 	case err := <-errCh:
@@ -117,4 +143,14 @@ func cacheLabel(dir string) string {
 		return "memory-only"
 	}
 	return dir
+}
+
+// deriveAdvertise turns a listen address into a URL the coordinator can
+// dial: ":8322" (all interfaces) advertises the loopback address — right
+// for a single-machine cluster; multi-host fleets pass -advertise.
+func deriveAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
 }

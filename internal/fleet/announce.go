@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RegisterWorker announces a worker's base URL to a coordinator (POST
+// /v1/fleet/workers). Registration is idempotent on the coordinator, so
+// workers call this periodically as a heartbeat-by-reannouncement: a
+// worker the coordinator demoted (or a coordinator that restarted and
+// forgot its fleet) re-enlists on the next announcement.
+func RegisterWorker(ctx context.Context, coordinator, self string, hc *http.Client) error {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	body, err := json.Marshal(registerBody{URL: self})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		coordinator+"/v1/fleet/workers", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("fleet: coordinator rejected registration: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// AnnounceLoop registers self with the coordinator every interval until
+// ctx ends, logging nothing and giving up never — a coordinator outage
+// must not take workers down with it.
+func AnnounceLoop(ctx context.Context, coordinator, self string, every time.Duration, hc *http.Client) {
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		RegisterWorker(ctx, coordinator, self, hc)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

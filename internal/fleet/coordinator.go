@@ -1,0 +1,256 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"time"
+
+	"finereg/internal/runner"
+	"finereg/internal/serve"
+	"finereg/internal/serve/metrics"
+)
+
+// CoordinatorConfig sizes a Coordinator.
+type CoordinatorConfig struct {
+	// Nodes are worker base URLs registered at startup; more can join
+	// later via AddWorker or POST /v1/fleet/workers.
+	Nodes []string
+	// CacheDir backs the coordinator's shared result store (the fleet's
+	// remote tier); "" keeps it in memory.
+	CacheDir string
+	// QueueCap / MaxBatch / ProgressEvery pass through to the embedded
+	// serve.Server (zero = its defaults).
+	QueueCap      int
+	MaxBatch      int
+	ProgressEvery int64
+	// Slots is the per-node dispatch concurrency (default 4). The
+	// embedded server's worker pool is sized to saturate it.
+	Slots int
+	// PollEvery paces job-status polls against workers (default 50ms).
+	PollEvery time.Duration
+	// ProbeEvery paces worker liveness probes (default 2s; < 0 disables
+	// the probe loop — tests drive ProbeAll directly).
+	ProbeEvery time.Duration
+	// DownAfter is the consecutive-failure threshold demoting a node
+	// (default 3).
+	DownAfter int
+	// HTTP is the dispatch/probe transport (nil = 15s-timeout client).
+	HTTP *http.Client
+}
+
+// Coordinator fronts a worker fleet with the single-node v1 API: an
+// embedded serve.Server does admission/coalescing/records/SSE/metrics,
+// a Dispatcher does placement, and the coordinator adds the fleet-facing
+// routes —
+//
+//	GET/PUT /v1/cache/{key}   the shared result tier workers mount as L3
+//	GET     /v1/fleet/workers fleet membership and per-node state
+//	POST    /v1/fleet/workers worker self-registration {"url": "..."}
+//
+// — plus per-node metrics and the liveness probe loop.
+type Coordinator struct {
+	srv   *serve.Server
+	disp  *Dispatcher
+	cache *runner.Cache
+
+	nodeUp    *metrics.GaugeFuncVec
+	nodeQueue *metrics.GaugeFuncVec
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// NewCoordinator builds and starts a coordinator.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cache := runner.NewCache(cfg.CacheDir)
+	disp := NewDispatcher(DispatcherConfig{
+		Cache:     cache,
+		Slots:     cfg.Slots,
+		PollEvery: cfg.PollEvery,
+		DownAfter: cfg.DownAfter,
+		HTTP:      cfg.HTTP,
+	})
+	for _, u := range cfg.Nodes {
+		disp.AddNode(u)
+	}
+
+	// The embedded engine is the metrics/cache anchor (the serve layer
+	// reads its cache stats; nothing executes on it — the Runner seam
+	// routes every job through the dispatcher). Workers: enough blocked
+	// dispatch waiters to saturate every node's slots, with headroom for
+	// nodes that join later.
+	workers := disp.cfg.Slots * (len(cfg.Nodes) + 1)
+	if min := runtime.GOMAXPROCS(0); workers < min {
+		workers = min
+	}
+	c := &Coordinator{
+		disp:  disp,
+		cache: cache,
+		srv: serve.New(serve.Config{
+			Engine:        &runner.Engine{Cache: cache},
+			Runner:        disp,
+			Workers:       workers,
+			QueueCap:      cfg.QueueCap,
+			MaxBatch:      cfg.MaxBatch,
+			ProgressEvery: cfg.ProgressEvery,
+		}),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	c.routes()
+	c.initMetrics()
+
+	probeEvery := cfg.ProbeEvery
+	if probeEvery == 0 {
+		probeEvery = 2 * time.Second
+	}
+	if probeEvery > 0 {
+		go c.probeLoop(probeEvery)
+	} else {
+		close(c.probeDone)
+	}
+	return c
+}
+
+// Server exposes the embedded serve.Server (tests and CLIs attach
+// progress observers or extra metrics through it).
+func (c *Coordinator) Server() *serve.Server { return c.srv }
+
+// Dispatcher exposes the dispatcher (fleet state inspection).
+func (c *Coordinator) Dispatcher() *Dispatcher { return c.disp }
+
+// Cache exposes the shared result tier.
+func (c *Coordinator) Cache() *runner.Cache { return c.cache }
+
+// AddWorker registers (or revives) a worker node and its metric series.
+func (c *Coordinator) AddWorker(nodeURL string) error {
+	u, err := url.Parse(nodeURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("fleet: worker url %q is not absolute", nodeURL)
+	}
+	base := u.Scheme + "://" + u.Host
+	if c.disp.AddNode(base) {
+		c.addNodeMetrics(base)
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler by delegating to the embedded server
+// (which carries the extra fleet routes).
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.srv.ServeHTTP(w, r) }
+
+// Shutdown stops probing, drains the embedded server (its Runner StopAll
+// hook cancels outstanding dispatches at the deadline), and closes the
+// dispatcher.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	close(c.probeStop)
+	<-c.probeDone
+	err := c.srv.Shutdown(ctx)
+	c.disp.Close()
+	return err
+}
+
+func (c *Coordinator) probeLoop(every time.Duration) {
+	defer close(c.probeDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.disp.ProbeAll()
+		case <-c.probeStop:
+			return
+		}
+	}
+}
+
+func (c *Coordinator) routes() {
+	cs := cacheServer{cache: c.cache}
+	c.srv.Handle("GET /v1/cache/{key}", http.HandlerFunc(cs.handleGet))
+	c.srv.Handle("PUT /v1/cache/{key}", http.HandlerFunc(cs.handlePut))
+	c.srv.Handle("GET /v1/fleet/workers", http.HandlerFunc(c.handleListWorkers))
+	c.srv.Handle("POST /v1/fleet/workers", http.HandlerFunc(c.handleRegisterWorker))
+}
+
+func (c *Coordinator) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(c.disp.NodeStatuses())
+}
+
+// registerBody is the POST /v1/fleet/workers payload.
+type registerBody struct {
+	URL string `json:"url"`
+}
+
+func (c *Coordinator) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var body registerBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.URL == "" {
+		http.Error(w, "fleet: body must be {\"url\": \"http://host:port\"}", http.StatusBadRequest)
+		return
+	}
+	if err := c.AddWorker(body.URL); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) initMetrics() {
+	r := c.srv.Registry()
+	r.NewCounterFunc("finereg_fleet_dispatched_total",
+		"Jobs dispatched to worker nodes (including requeued re-dispatches).",
+		func() int64 { return c.disp.Stats().Dispatched })
+	r.NewCounterFunc("finereg_fleet_stolen_total",
+		"Dispatches pulled from another node's backlog by an idle node.",
+		func() int64 { return c.disp.Stats().Stolen })
+	r.NewCounterFunc("finereg_fleet_requeued_total",
+		"Jobs requeued after their worker stopped answering.",
+		func() int64 { return c.disp.Stats().Requeued })
+	r.NewGaugeFunc("finereg_fleet_nodes_alive",
+		"Worker nodes currently considered live.",
+		func() float64 {
+			n := 0
+			for _, ns := range c.disp.NodeStatuses() {
+				if ns.Alive {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	c.nodeUp = r.NewGaugeFuncVec("finereg_fleet_node_up",
+		"Per-node liveness (1 = answering, 0 = down).", "node")
+	c.nodeQueue = r.NewGaugeFuncVec("finereg_fleet_node_queue_depth",
+		"Per-node dispatch backlog.", "node")
+	for _, ns := range c.disp.NodeStatuses() {
+		c.addNodeMetrics(ns.URL)
+	}
+}
+
+// addNodeMetrics registers one node's labeled series (idempotent —
+// re-adding replaces the child with an equivalent closure).
+func (c *Coordinator) addNodeMetrics(nodeURL string) {
+	find := func() (NodeStatus, bool) {
+		for _, ns := range c.disp.NodeStatuses() {
+			if ns.URL == nodeURL {
+				return ns, true
+			}
+		}
+		return NodeStatus{}, false
+	}
+	c.nodeUp.Add(nodeURL, func() float64 {
+		if ns, ok := find(); ok && ns.Alive {
+			return 1
+		}
+		return 0
+	})
+	c.nodeQueue.Add(nodeURL, func() float64 {
+		ns, _ := find()
+		return float64(ns.QueueDepth)
+	})
+}

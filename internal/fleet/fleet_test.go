@@ -1,0 +1,491 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
+	"finereg/internal/runner"
+	"finereg/internal/serve"
+)
+
+// tinyJob mirrors the serve test corpus: a small but real simulation (2-SM
+// machine, shrunken grid) so fleet tests drive the actual simulator.
+func tinyJob(t *testing.T, bench string, pol runner.PolicySpec) *runner.Job {
+	t.Helper()
+	p, err := kernels.ProfileByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runner.Job{
+		Cfg:     gpu.Default().Scale(2),
+		Profile: p,
+		Grid:    int(float64(p.GridCTAs)*0.1 + 0.5),
+		Policy:  pol,
+		Label:   bench + "/" + pol.Kind,
+	}
+}
+
+// corpus is the serve e2e job set the fleet must reproduce byte for byte.
+func corpus(t *testing.T) []*runner.Job {
+	return []*runner.Job{
+		tinyJob(t, "CS", runner.Baseline()),
+		tinyJob(t, "CS", runner.VirtualThread()),
+		tinyJob(t, "CS", runner.FineRegDefault()),
+		tinyJob(t, "LB", runner.Baseline()),
+		tinyJob(t, "LB", runner.FineRegDefault()),
+	}
+}
+
+// testWorker is one worker node: its serve server, engine, and HTTP front.
+type testWorker struct {
+	srv *serve.Server
+	hs  *httptest.Server
+	eng *runner.Engine
+}
+
+// newWorker starts a worker with a disk-backed cache; coordURL != ""
+// mounts the coordinator as the cache's remote tier.
+func newWorker(t *testing.T, coordURL string, r serve.Runner) *testWorker {
+	t.Helper()
+	cache := runner.NewCache(t.TempDir())
+	if coordURL != "" {
+		cache.Remote = &CacheClient{Base: coordURL}
+	}
+	eng := &runner.Engine{Cache: cache}
+	s := serve.New(serve.Config{Engine: eng, Workers: 2, Runner: r})
+	hs := httptest.NewServer(s)
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return &testWorker{srv: s, hs: hs, eng: eng}
+}
+
+// newCoordinator starts a coordinator over the given workers (probe loop
+// off; tests drive ProbeAll explicitly where liveness matters).
+func newCoordinator(t *testing.T, cfg CoordinatorConfig, workers ...*testWorker) (*Coordinator, *serve.Client) {
+	t.Helper()
+	for _, w := range workers {
+		cfg.Nodes = append(cfg.Nodes, w.hs.URL)
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = -1
+	}
+	if cfg.PollEvery == 0 {
+		cfg.PollEvery = 10 * time.Millisecond
+	}
+	c := NewCoordinator(cfg)
+	hs := httptest.NewServer(c)
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+	})
+	return c, &serve.Client{Base: hs.URL, PollInterval: 5 * time.Millisecond, ShedBackoff: 5 * time.Millisecond}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertSameResults compares two result sets byte for byte.
+func assertSameResults(t *testing.T, jobs []*runner.Job, want, got *runner.Batch) {
+	t.Helper()
+	for i := range jobs {
+		w := mustJSON(t, want.Results[i])
+		g := mustJSON(t, got.Results[i])
+		if !bytes.Equal(w, g) {
+			t.Errorf("job %d (%s): fleet result differs from direct run\ndirect: %s\nfleet:  %s",
+				i, jobs[i].Label, w, g)
+		}
+	}
+}
+
+// TestFleetByteIdenticalSweep is the tentpole acceptance test: the serve
+// e2e corpus through a coordinator + two workers must be byte-identical
+// to a direct engine run, with every simulation executed on a worker and
+// a repeat sweep answered with zero re-simulations.
+func TestFleetByteIdenticalSweep(t *testing.T) {
+	jobs := corpus(t)
+	direct := (&runner.Engine{}).Run(jobs)
+	if err := direct.Err(); err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+
+	wA := newWorker(t, "", nil)
+	wB := newWorker(t, "", nil)
+	coord, client := newCoordinator(t, CoordinatorConfig{}, wA, wB)
+
+	fleetRun, err := client.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if err := fleetRun.Err(); err != nil {
+		t.Fatalf("fleet batch: %v", err)
+	}
+	assertSameResults(t, jobs, direct, fleetRun)
+
+	execA := wA.eng.Stats().Executed
+	execB := wB.eng.Stats().Executed
+	if execA+execB != int64(len(jobs)) {
+		t.Errorf("workers executed %d+%d simulations, want %d total", execA, execB, len(jobs))
+	}
+	if got := coord.Server().Registry(); got == nil {
+		t.Fatal("coordinator has no registry")
+	}
+	if st := coord.Dispatcher().Stats(); st.Dispatched < int64(len(jobs)) {
+		t.Errorf("dispatched %d, want >= %d", st.Dispatched, len(jobs))
+	}
+
+	// Warm repeat: same sweep again — answered by the coordinator
+	// (coalesced records / shared cache), no new simulations anywhere.
+	again, err := client.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("repeat run: %v", err)
+	}
+	if err := again.Err(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, jobs, direct, again)
+	if a, b := wA.eng.Stats().Executed, wB.eng.Stats().Executed; a != execA || b != execB {
+		t.Errorf("repeat sweep re-simulated: executed %d/%d -> %d/%d", execA, execB, a, b)
+	}
+
+	// Fleet membership is visible over the API.
+	var nodes []NodeStatus
+	if err := json.Unmarshal(httpGet(t, client.Base+"/v1/fleet/workers"), &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || !nodes[0].Alive || !nodes[1].Alive {
+		t.Errorf("fleet workers = %+v, want 2 alive nodes", nodes)
+	}
+	body := string(httpGet(t, client.Base+"/metrics"))
+	for _, want := range []string{"finereg_fleet_nodes_alive 2", "finereg_fleet_node_up{node="} {
+		if !strings.Contains(body, want) {
+			t.Errorf("coordinator metrics missing %q", want)
+		}
+	}
+}
+
+// TestFleetRemoteCacheTier: a cold worker whose cache mounts the
+// coordinator as its remote tier must serve a sweep the fleet already
+// computed entirely from remote hits — zero simulations — with the hit
+// source visible in its metrics.
+func TestFleetRemoteCacheTier(t *testing.T) {
+	jobs := corpus(t)
+	direct := (&runner.Engine{}).Run(jobs)
+	if err := direct.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	wA := newWorker(t, "", nil)
+	coord, client := newCoordinator(t, CoordinatorConfig{}, wA)
+	if _, err := client.RunJobs(context.Background(), jobs); err != nil {
+		t.Fatalf("warming run: %v", err)
+	}
+	if got := coord.Cache().Stats(); got.Misses == 0 {
+		t.Fatalf("coordinator cache saw no traffic: %+v", got)
+	}
+
+	// Cold node: empty local cache, coordinator as remote tier. Submit
+	// the sweep directly to it, as a fleet worker would see it.
+	coordURL := client.Base
+	wCold := newWorker(t, coordURL, nil)
+	coldClient := &serve.Client{Base: wCold.hs.URL, PollInterval: 5 * time.Millisecond}
+	got, err := coldClient.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("cold worker run: %v", err)
+	}
+	if err := got.Err(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, jobs, direct, got)
+
+	st := wCold.eng.Stats()
+	if st.Executed != 0 {
+		t.Errorf("cold worker executed %d simulations, want 0 (remote tier)", st.Executed)
+	}
+	if st.RemoteHits != int64(len(jobs)) {
+		t.Errorf("cold worker remote hits = %d, want %d", st.RemoteHits, len(jobs))
+	}
+	cs := wCold.eng.Cache.Stats()
+	if cs.RemoteHits != int64(len(jobs)) || cs.MemHits != 0 || cs.DiskHits != 0 {
+		t.Errorf("cold worker cache stats = %+v, want all %d hits remote", cs, len(jobs))
+	}
+
+	body := string(httpGet(t, wCold.hs.URL+"/metrics"))
+	if want := `finereg_cache_hits_total{source="remote"} 5`; !strings.Contains(body, want) {
+		t.Errorf("cold worker metrics missing %q", want)
+	}
+
+	// Back-fill: the same sweep again is now local (mem), not remote.
+	if _, err := coldClient.RunJobs(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if cs2 := wCold.eng.Cache.Stats(); cs2.RemoteHits != cs.RemoteHits {
+		t.Errorf("repeat on cold worker went remote again: %+v", cs2)
+	}
+}
+
+// parkRunner wraps a worker engine: every job parks until release closes,
+// then runs normally. entered reports each parked job.
+type parkRunner struct {
+	e       *runner.Engine
+	entered chan *runner.Job
+	release chan struct{}
+}
+
+func (p *parkRunner) RunJob(j *runner.Job) (*runner.Result, bool, error) {
+	p.entered <- j
+	<-p.release
+	b := p.e.Run([]*runner.Job{j})
+	return b.Results[0], b.Stats.CacheHits+b.Stats.Deduped > 0, b.Errs[0]
+}
+
+// splitByPrimary partitions candidate jobs by their rendezvous-primary
+// node, generating grid-perturbed variants of the corpus until each node
+// has at least want primaries.
+func splitByPrimary(t *testing.T, urls []string, want int) map[string][]*runner.Job {
+	t.Helper()
+	out := map[string][]*runner.Job{}
+	base := corpus(t)
+	for i := 0; i < 64; i++ {
+		j := base[i%len(base)]
+		cand := *j
+		cand.Grid = j.Grid + i/len(base)
+		key := cand.Key(runner.SimFingerprint)
+		primary := rendezvousRank(key, urls)[0]
+		if len(out[primary]) < want {
+			out[primary] = append(out[primary], &cand)
+		}
+		done := true
+		for _, u := range urls {
+			if len(out[u]) < want {
+				done = false
+			}
+		}
+		if done {
+			return out
+		}
+	}
+	t.Fatalf("could not find %d primary jobs per node over %v", want, urls)
+	return nil
+}
+
+// TestFleetWorkStealing: with one dispatch slot per node and node A
+// parked, A's backlog must be stolen and completed by node B.
+func TestFleetWorkStealing(t *testing.T) {
+	entered := make(chan *runner.Job, 16)
+	release := make(chan struct{})
+	cacheA := runner.NewCache(t.TempDir())
+	engA := &runner.Engine{Cache: cacheA}
+	park := &parkRunner{e: engA, entered: entered, release: release}
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+
+	sA := serve.New(serve.Config{Engine: engA, Workers: 2, Runner: park})
+	hsA := httptest.NewServer(sA)
+	wA := &testWorker{srv: sA, hs: hsA, eng: engA}
+	t.Cleanup(func() {
+		hsA.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		sA.Shutdown(ctx)
+	})
+	wB := newWorker(t, "", nil)
+
+	coord, client := newCoordinator(t, CoordinatorConfig{Slots: 1}, wA, wB)
+
+	split := splitByPrimary(t, []string{wA.hs.URL, wB.hs.URL}, 2)
+	jobs := append(append([]*runner.Job{}, split[wA.hs.URL]...), split[wB.hs.URL][0])
+
+	resCh := make(chan error, 1)
+	go func() {
+		b, err := client.RunJobs(context.Background(), jobs)
+		if err == nil {
+			err = b.Err()
+		}
+		resCh <- err
+	}()
+
+	// A's single slot parks on one A-primary job; its second A-primary
+	// job can only finish if B steals it. Hold A parked until B has
+	// executed both its own job and the stolen one.
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no job reached worker A")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for coord.Dispatcher().Stats().Stolen == 0 || wB.eng.Stats().Executed < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no steal while A parked: stolen=%d, B executed %d",
+				coord.Dispatcher().Stats().Stolen, wB.eng.Stats().Executed)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release)
+	released = true
+	if err := <-resCh; err != nil {
+		t.Fatalf("sweep with stealing failed: %v", err)
+	}
+	if execB := wB.eng.Stats().Executed; execB != 2 {
+		t.Errorf("worker B executed %d jobs, want 2 (own + stolen)", execB)
+	}
+	if execA := wA.eng.Stats().Executed; execA != 1 {
+		t.Errorf("worker A executed %d jobs, want 1 (the parked one)", execA)
+	}
+}
+
+// TestFleetWorkerFailureRequeue is the failure-semantics acceptance test:
+// a worker killed mid-job must have its in-flight and queued jobs
+// requeued onto the survivor, the sweep must still complete, and the
+// results must stay byte-identical to a direct run.
+func TestFleetWorkerFailureRequeue(t *testing.T) {
+	entered := make(chan *runner.Job, 16)
+	release := make(chan struct{})
+	cacheA := runner.NewCache(t.TempDir())
+	engA := &runner.Engine{Cache: cacheA}
+	park := &parkRunner{e: engA, entered: entered, release: release}
+
+	sA := serve.New(serve.Config{Engine: engA, Workers: 2, Runner: park})
+	hsA := httptest.NewServer(sA)
+	wA := &testWorker{srv: sA, hs: hsA, eng: engA}
+	closedA := false
+	t.Cleanup(func() {
+		close(release) // un-park before draining A
+		if !closedA {
+			hsA.Close()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		sA.Shutdown(ctx)
+	})
+	wB := newWorker(t, "", nil)
+
+	coord, client := newCoordinator(t, CoordinatorConfig{Slots: 2, DownAfter: 3}, wA, wB)
+
+	split := splitByPrimary(t, []string{wA.hs.URL, wB.hs.URL}, 2)
+	jobs := append(append([]*runner.Job{}, split[wA.hs.URL]...), split[wB.hs.URL]...)
+	direct := (&runner.Engine{}).Run(jobs)
+	if err := direct.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	type runOut struct {
+		b   *runner.Batch
+		err error
+	}
+	resCh := make(chan runOut, 1)
+	go func() {
+		b, err := client.RunJobs(context.Background(), jobs)
+		resCh <- runOut{b, err}
+	}()
+
+	// Wait until A holds a job mid-flight, then kill the node.
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no job reached worker A")
+	}
+	hsA.CloseClientConnections()
+	hsA.Close()
+	closedA = true
+
+	out := <-resCh
+	if out.err != nil {
+		t.Fatalf("sweep across worker failure: %v", out.err)
+	}
+	if err := out.b.Err(); err != nil {
+		t.Fatalf("sweep across worker failure: %v", err)
+	}
+	assertSameResults(t, jobs, direct, out.b)
+
+	st := coord.Dispatcher().Stats()
+	if st.Requeued == 0 {
+		t.Error("worker death caused no requeues")
+	}
+	var aliveA, aliveB bool
+	for _, ns := range coord.Dispatcher().NodeStatuses() {
+		switch ns.URL {
+		case wA.hs.URL:
+			aliveA = ns.Alive
+		case wB.hs.URL:
+			aliveB = ns.Alive
+		}
+	}
+	if aliveA {
+		t.Error("dead worker A still marked alive")
+	}
+	if !aliveB {
+		t.Error("surviving worker B marked down")
+	}
+	if execB := wB.eng.Stats().Executed; execB != int64(len(jobs)) {
+		t.Errorf("survivor executed %d jobs, want all %d", execB, len(jobs))
+	}
+}
+
+// TestFleetCacheProtocol covers the HTTP cache endpoints directly: round
+// trip, miss, and malformed-key rejection.
+func TestFleetCacheProtocol(t *testing.T) {
+	wA := newWorker(t, "", nil)
+	_, client := newCoordinator(t, CoordinatorConfig{}, wA)
+
+	job := tinyJob(t, "CS", runner.Baseline())
+	b := (&runner.Engine{}).Run([]*runner.Job{job})
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	key := job.Key(runner.SimFingerprint)
+
+	cc := &CacheClient{Base: client.Base}
+	if _, ok := cc.Get(key); ok {
+		t.Fatal("empty coordinator cache reported a hit")
+	}
+	cc.Put(key, b.Results[0])
+	got, ok := cc.Get(key)
+	if !ok {
+		t.Fatal("round-tripped result not found")
+	}
+	if !bytes.Equal(mustJSON(t, b.Results[0]), mustJSON(t, got)) {
+		t.Error("result changed across the cache protocol round trip")
+	}
+
+	if _, ok := cc.Get("not-a-key"); ok {
+		t.Error("malformed key reported a hit")
+	}
+	if resp, err := httpGetResp(client.Base + "/v1/cache/zzzz"); err == nil {
+		if resp != 400 {
+			t.Errorf("malformed key GET = HTTP %d, want 400", resp)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := httptestGet(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

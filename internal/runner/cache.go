@@ -9,10 +9,27 @@ import (
 	"sync/atomic"
 )
 
+// RemoteTier is an optional third cache level behind memory and disk: a
+// shared, typically networked result store keyed by the same
+// content-addressed job keys (internal/fleet layers it over HTTP against
+// a coordinator node). Implementations must be safe for concurrent use
+// and must treat every failure as a miss or a dropped write — the remote
+// tier is an accelerator, never a correctness dependency.
+type RemoteTier interface {
+	// Get fetches the result for key, or ok == false on a miss (or any
+	// transport failure).
+	Get(key string) (r *Result, ok bool)
+	// Put stores r under key, best effort. The callee must not retain or
+	// mutate r after returning.
+	Put(key string, r *Result)
+}
+
 // Cache is the content-addressed result store: an in-memory map always,
-// plus an optional on-disk JSON layer when a directory is configured. Keys
-// embed the simulator fingerprint (see Job.Key), and the disk layout nests
-// entries under a fingerprint directory —
+// an optional on-disk JSON layer when a directory is configured, and an
+// optional remote tier behind both (Get fills mem and disk on a remote
+// hit; Put writes through). Keys embed the simulator fingerprint (see
+// Job.Key), and the disk layout nests entries under a fingerprint
+// directory —
 //
 //	<dir>/<fingerprint>/<key[:2]>/<key>.json
 //
@@ -27,6 +44,9 @@ type Cache struct {
 	// Override only in tests simulating a simulator change.
 	Fingerprint string
 
+	// Remote is the shared third tier (nil = none). Set before first use.
+	Remote RemoteTier
+
 	dir string // "" = memory only
 
 	mu  sync.RWMutex
@@ -34,7 +54,7 @@ type Cache struct {
 
 	prune sync.Once
 
-	memHits, diskHits, misses, corrupt atomic.Int64
+	memHits, diskHits, remoteHits, misses, corrupt atomic.Int64
 }
 
 // NewCache returns a cache backed by dir; dir == "" keeps results in
@@ -43,23 +63,31 @@ func NewCache(dir string) *Cache {
 	return &Cache{Fingerprint: SimFingerprint, dir: dir, mem: map[string]*Result{}}
 }
 
-// CacheStats is a point-in-time snapshot of the hit/miss counters.
+// CacheStats is a point-in-time snapshot of the hit/miss counters, with
+// hits split by the tier that served them (mem, disk, or remote).
 type CacheStats struct {
-	MemHits, DiskHits, Misses, Corrupt int64
+	MemHits, DiskHits, RemoteHits, Misses, Corrupt int64
 }
+
+// Hits is the total over all sources.
+func (s CacheStats) Hits() int64 { return s.MemHits + s.DiskHits + s.RemoteHits }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		MemHits:  c.memHits.Load(),
-		DiskHits: c.diskHits.Load(),
-		Misses:   c.misses.Load(),
-		Corrupt:  c.corrupt.Load(),
+		MemHits:    c.memHits.Load(),
+		DiskHits:   c.diskHits.Load(),
+		RemoteHits: c.remoteHits.Load(),
+		Misses:     c.misses.Load(),
+		Corrupt:    c.corrupt.Load(),
 	}
 }
 
-// Get looks key up in memory, then on disk. The returned Result is the
-// caller's own copy. source is "mem" or "disk" on a hit.
+// Get looks key up in memory, then on disk, then in the remote tier. A
+// hit from an outer tier is pulled into the inner ones (a remote hit
+// lands in memory and on disk), so repeated lookups stay local. The
+// returned Result is the caller's own copy. source is "mem", "disk", or
+// "remote" on a hit.
 func (c *Cache) Get(key string) (r *Result, source string, ok bool) {
 	c.mu.RLock()
 	res := c.mem[key]
@@ -75,19 +103,34 @@ func (c *Cache) Get(key string) (r *Result, source string, ok bool) {
 		c.diskHits.Add(1)
 		return res.Clone(), "disk", true
 	}
+	if c.Remote != nil {
+		if res, ok := c.Remote.Get(key); ok && res != nil && res.Metrics != nil {
+			pristine := res.Clone()
+			c.mu.Lock()
+			c.mem[key] = pristine
+			c.mu.Unlock()
+			c.diskPut(key, pristine)
+			c.remoteHits.Add(1)
+			return res, "remote", true
+		}
+	}
 	c.misses.Add(1)
 	return nil, "", false
 }
 
-// Put stores a pristine copy of r under key in memory and, when
-// configured, on disk. Disk failures are non-fatal: the entry simply will
-// not persist across invocations.
+// Put stores a pristine copy of r under key in memory, on disk when
+// configured, and (write-through) in the remote tier when configured.
+// Disk and remote failures are non-fatal: the entry simply will not
+// persist across invocations or be visible to other nodes.
 func (c *Cache) Put(key string, r *Result) {
 	pristine := r.Clone()
 	c.mu.Lock()
 	c.mem[key] = pristine
 	c.mu.Unlock()
 	c.diskPut(key, pristine)
+	if c.Remote != nil {
+		c.Remote.Put(key, pristine.Clone())
+	}
 }
 
 // entry is the on-disk record. Key and Fingerprint are stored redundantly
@@ -171,6 +214,6 @@ func (c *Cache) pruneStale() {
 
 // String summarizes the counters for log lines.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("%d mem hits, %d disk hits, %d misses, %d corrupt",
-		s.MemHits, s.DiskHits, s.Misses, s.Corrupt)
+	return fmt.Sprintf("%d mem hits, %d disk hits, %d remote hits, %d misses, %d corrupt",
+		s.MemHits, s.DiskHits, s.RemoteHits, s.Misses, s.Corrupt)
 }

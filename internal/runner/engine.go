@@ -56,9 +56,10 @@ type EngineStats struct {
 	// simulations actually performed.
 	Submitted, Executed int64
 	// CacheHits counts results served by the cache (DiskHits of them came
-	// from disk); Deduped counts duplicates that piggybacked on an
-	// identical in-flight job in the same batch.
-	CacheHits, DiskHits, Deduped int64
+	// from disk, RemoteHits from the remote tier); Deduped counts
+	// duplicates that piggybacked on an identical in-flight job in the
+	// same batch.
+	CacheHits, DiskHits, RemoteHits, Deduped int64
 	// Failed counts jobs that returned an error.
 	Failed int64
 }
@@ -149,8 +150,8 @@ type Batch struct {
 
 // BatchStats counts one Run's scheduling outcomes.
 type BatchStats struct {
-	Submitted, Executed, CacheHits, DiskHits, Deduped, Failed int
-	Wall                                                      time.Duration
+	Submitted, Executed, CacheHits, DiskHits, RemoteHits, Deduped, Failed int
+	Wall                                                                  time.Duration
 }
 
 // Err returns nil when every job succeeded, otherwise an error wrapping
@@ -299,8 +300,11 @@ func (e *Engine) Run(jobs []*Job) *Batch {
 					f.res, cached = res, true
 					account(func(s *BatchStats) {
 						s.CacheHits++
-						if src == "disk" {
+						switch src {
+						case "disk":
 							s.DiskHits++
+						case "remote":
+							s.RemoteHits++
 						}
 					})
 				}
@@ -340,6 +344,7 @@ func (e *Engine) Run(jobs []*Job) *Batch {
 	e.total.Executed += int64(b.Stats.Executed)
 	e.total.CacheHits += int64(b.Stats.CacheHits)
 	e.total.DiskHits += int64(b.Stats.DiskHits)
+	e.total.RemoteHits += int64(b.Stats.RemoteHits)
 	e.total.Deduped += int64(b.Stats.Deduped)
 	e.total.Failed += int64(b.Stats.Failed)
 	e.mu.Unlock()

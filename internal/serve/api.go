@@ -6,6 +6,7 @@ import (
 	"finereg/internal/gpu"
 	"finereg/internal/kernels"
 	"finereg/internal/runner"
+	"finereg/internal/trace"
 )
 
 // This file is the service's wire vocabulary: the JSON request/response
@@ -50,6 +51,17 @@ type JobRequest struct {
 	Audit bool `json:"audit,omitempty"`
 	// Label tags progress lines and errors; not part of the job identity.
 	Label string `json:"label,omitempty"`
+	// Priority orders admission: higher-priority jobs dequeue first, and
+	// when the queue is full they may preempt queued jobs of strictly
+	// lower priority instead of being shed. Default 0. Not part of the
+	// job identity (a high-priority run hits the same cache entry as a
+	// low-priority twin).
+	Priority int `json:"priority,omitempty"`
+	// Client is the submitter's self-reported identity, the fair-share
+	// bucket for admission: equal-priority jobs drain round-robin across
+	// clients. Default "" (one shared bucket). Not part of the job
+	// identity.
+	Client string `json:"client,omitempty"`
 }
 
 // Resolve canonicalizes the request into a validated runner.Job.
@@ -155,12 +167,14 @@ type BatchSubmitStatus struct {
 
 // JobStatus is the response of GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID     string `json:"id"`
-	Key    string `json:"key"`
-	Label  string `json:"label,omitempty"`
-	State  string `json:"state"`
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
+	ID       string `json:"id"`
+	Key      string `json:"key"`
+	Label    string `json:"label,omitempty"`
+	Client   string `json:"client,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	State    string `json:"state"`
+	Cached   bool   `json:"cached,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Result carries the metrics (and Figure 5 windows when tracked) once
 	// State is "done".
 	Result *runner.Result `json:"result,omitempty"`
@@ -208,12 +222,35 @@ type Event struct {
 	// CTA launch/retire counts against the grid total, the live
 	// sim-cycles/s rate over the last sample window, and the sparse
 	// telemetry op-count delta (PCRF spills, DMA transfers, DRAM ops...).
+	// The fields mirror trace.ProgressSample one for one so a forwarding
+	// hop (a fleet coordinator relaying a worker's stream) can
+	// reconstruct the sample losslessly via Sample.
 	Cycle        int64            `json:"cycle,omitempty"`
+	CycleDelta   int64            `json:"cycle_delta,omitempty"`
 	GridCTAs     int64            `json:"grid_ctas,omitempty"`
 	CTAsLaunched int64            `json:"ctas_launched,omitempty"`
 	CTAsRetired  int64            `json:"ctas_retired,omitempty"`
+	Instructions int64            `json:"instructions,omitempty"`
 	CyclesPerSec float64          `json:"cycles_per_sec,omitempty"`
+	Final        bool             `json:"final,omitempty"`
 	Ops          map[string]int64 `json:"ops,omitempty"`
+}
+
+// Sample reconstructs the trace.ProgressSample a "progress" event was
+// built from (WallMS is the origin node's wall clock and does not
+// survive the hop; consumers derive their own timing).
+func (e *Event) Sample() trace.ProgressSample {
+	return trace.ProgressSample{
+		Cycle:        e.Cycle,
+		CycleDelta:   e.CycleDelta,
+		GridCTAs:     e.GridCTAs,
+		CTAsLaunched: e.CTAsLaunched,
+		CTAsRetired:  e.CTAsRetired,
+		Instructions: e.Instructions,
+		CyclesPerSec: e.CyclesPerSec,
+		Final:        e.Final,
+		Ops:          e.Ops,
+	}
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"finereg/internal/runner"
@@ -26,8 +29,16 @@ type Client struct {
 	// PollInterval paces WaitBatch status polls (0 = 250ms).
 	PollInterval time.Duration
 	// ShedBackoff paces retries after a 429 load shed (0 = 1s; the
-	// server's Retry-After header, when present, takes precedence).
+	// server's Retry-After header, when present, takes precedence). The
+	// actual sleep is jittered uniformly over [wait/2, wait] so a herd of
+	// clients shed together does not retry in lockstep.
 	ShedBackoff time.Duration
+	// Priority is applied to every submitted job (see
+	// JobRequest.Priority). Zero is the default priority.
+	Priority int
+	// ClientID is the fair-share admission bucket reported with every
+	// submission (see JobRequest.Client). Empty means the shared bucket.
+	ClientID string
 }
 
 func (c *Client) http() *http.Client {
@@ -106,15 +117,53 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// SubmitBatch submits a batch, retrying 429 load sheds with backoff (the
-// 429 is the server protecting itself; the client's job is patience). A
-// batch that can never fit — larger than the server's whole queue — fails
-// immediately instead of retrying forever.
+// shedWait resolves one 429 backoff sleep: the server's Retry-After (in
+// seconds, when parseable) overrides base, and the result is jittered
+// uniformly over [wait/2, wait]. Without jitter, every client shed by the
+// same full queue retries at the same instant and the herd sheds again.
+func shedWait(base time.Duration, retryAfter string) time.Duration {
+	wait := base
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait <= 0 {
+		return 0
+	}
+	half := wait / 2
+	return half + rand.N(wait-half+1)
+}
+
+// applyMeta stamps the client's Priority/ClientID onto the requests
+// (copying; per-request values already set win).
+func (c *Client) applyMeta(reqs []JobRequest) []JobRequest {
+	if c.Priority == 0 && c.ClientID == "" {
+		return reqs
+	}
+	out := make([]JobRequest, len(reqs))
+	copy(out, reqs)
+	for i := range out {
+		if out[i].Priority == 0 {
+			out[i].Priority = c.Priority
+		}
+		if out[i].Client == "" {
+			out[i].Client = c.ClientID
+		}
+	}
+	return out
+}
+
+// SubmitBatch submits a batch, retrying 429 load sheds with jittered
+// backoff (the 429 is the server protecting itself; the client's job is
+// patience). A batch that can never fit — larger than the server's whole
+// queue — fails immediately instead of retrying forever.
 func (c *Client) SubmitBatch(ctx context.Context, reqs []JobRequest) (*BatchSubmitStatus, error) {
 	backoff := c.ShedBackoff
 	if backoff <= 0 {
 		backoff = time.Second
 	}
+	reqs = c.applyMeta(reqs)
 	for {
 		var st BatchSubmitStatus
 		resp, err := c.postJSON(ctx, "/v1/batches", BatchRequest{Jobs: reqs}, &st)
@@ -129,18 +178,68 @@ func (c *Client) SubmitBatch(ctx context.Context, reqs []JobRequest) (*BatchSubm
 			return nil, fmt.Errorf("serve: batch of %d jobs can never fit the server's queue of %d: %w",
 				len(reqs), ae.Body.QueueCap, err)
 		}
-		wait := backoff
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
-				wait = time.Duration(secs) * time.Second
-			}
-		}
 		select {
-		case <-time.After(wait):
+		case <-time.After(shedWait(backoff, resp.Header.Get("Retry-After"))):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// SubmitJob submits one job (no retry; callers wanting shed patience use
+// SubmitBatch).
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (*SubmitStatus, error) {
+	reqs := c.applyMeta([]JobRequest{req})
+	var st SubmitStatus
+	if _, err := c.postJSON(ctx, "/v1/jobs", reqs[0], &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// StreamEvents subscribes to a job's SSE lifecycle stream, invoking fn
+// for every decoded event until fn returns false, the stream ends, or ctx
+// expires. Returns nil on a clean stop (fn false, or stream closed after
+// a terminal event was delivered) and the transport/decode error
+// otherwise. The fleet coordinator uses this to forward a worker's
+// progress stream upward.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/events"), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	terminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event:/id: lines and blank separators
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			return fmt.Errorf("serve: decoding event stream: %w", err)
+		}
+		if ev.Kind == eventFinish {
+			terminal = true
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && !terminal {
+		return err
+	}
+	return nil
 }
 
 // JobStatus fetches one job's status.

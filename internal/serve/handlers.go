@@ -24,6 +24,11 @@ func (s *Server) routes() {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Handle mounts an extra handler on the server's mux — the hook a fleet
+// coordinator or worker uses to add its /v1/fleet/* and /v1/cache/*
+// routes next to the core API. Must be called before serving traffic.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -40,8 +45,8 @@ func (s *Server) writeAdmitError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{
 			Error:      err.Error(),
-			QueueDepth: len(s.queue),
-			QueueCap:   cap(s.queue),
+			QueueDepth: s.queue.depth(),
+			QueueCap:   s.queue.capacity(),
 		})
 	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -70,7 +75,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	sts, _, err := s.admit([]*runner.Job{job})
+	sts, _, err := s.admit([]*runner.Job{job}, []jobMeta{{priority: req.Priority, client: req.Client}})
 	if err != nil {
 		s.writeAdmitError(w, err)
 		return
@@ -98,6 +103,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jobs := make([]*runner.Job, 0, len(req.Jobs))
+	meta := make([]jobMeta, 0, len(req.Jobs))
 	for i := range req.Jobs {
 		j, err := req.Jobs[i].Resolve()
 		if err != nil {
@@ -106,8 +112,9 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		jobs = append(jobs, j)
+		meta = append(meta, jobMeta{priority: req.Jobs[i].Priority, client: req.Jobs[i].Client})
 	}
-	sts, recs, err := s.admit(jobs)
+	sts, recs, err := s.admit(jobs, meta)
 	if err != nil {
 		s.writeAdmitError(w, err)
 		return
@@ -161,7 +168,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	already := s.draining
 	if !already {
 		s.draining = true
-		close(s.queue)   // workers drain the backlog (failing it fast) and exit
+		s.queue.close()  // workers drain the backlog (failing it fast) and exit
 		close(s.drainCh) // SSE streams terminate
 	}
 	s.mu.Unlock()
@@ -175,7 +182,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		s.engine.StopAll()
+		if sa, ok := s.runner.(interface{ StopAll() int }); ok {
+			sa.StopAll()
+		}
 		<-done
 		return ctx.Err()
 	}

@@ -174,6 +174,106 @@ func (c *CounterFunc) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", c.name, c.fn())
 }
 
+// ---- Labeled function-backed families ----
+
+// funcVec is a family of function-backed series sharing one name and one
+// label dimension, rendered under a single HELP/TYPE header:
+//
+//	name{label="a"} 1
+//	name{label="b"} 2
+//
+// Children may be added after registration (the fleet layer adds a child
+// per worker node as nodes join); Add of an existing label value replaces
+// the child's function, so re-registration is idempotent. This is the only
+// label support the registry has — one dimension, function-backed — which
+// is exactly what hit-source and per-node series need.
+type funcVec struct {
+	name, help, typ string
+	label           string
+
+	mu    sync.Mutex
+	order []string
+	fns   map[string]func() float64
+}
+
+func (v *funcVec) add(value string, fn func() float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.fns[value]; !ok {
+		v.order = append(v.order, value)
+	}
+	v.fns[value] = fn
+}
+
+func (v *funcVec) remove(value string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.fns[value]; !ok {
+		return
+	}
+	delete(v.fns, value)
+	for i, s := range v.order {
+		if s == value {
+			v.order = append(v.order[:i], v.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (v *funcVec) desc() (string, string, string) { return v.name, v.help, v.typ }
+func (v *funcVec) write(w io.Writer) {
+	v.mu.Lock()
+	order := append([]string(nil), v.order...)
+	fns := make([]func() float64, len(order))
+	for i, val := range order {
+		fns[i] = v.fns[val]
+	}
+	v.mu.Unlock()
+	for i, val := range order {
+		if v.typ == "counter" {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, int64(fns[i]()))
+		} else {
+			fmt.Fprintf(w, "%s{%s=%q} %s\n", v.name, v.label, val, formatFloat(fns[i]()))
+		}
+	}
+}
+
+// CounterFuncVec is a labeled family of function-backed counters (e.g.
+// finereg_cache_hits_total{source="mem"|"disk"|"remote"}).
+type CounterFuncVec struct{ v *funcVec }
+
+// NewCounterFuncVec registers a counter family with one label dimension.
+func (r *Registry) NewCounterFuncVec(name, help, label string) *CounterFuncVec {
+	v := &funcVec{name: name, help: help, typ: "counter", label: label,
+		fns: map[string]func() float64{}}
+	r.register(v)
+	return &CounterFuncVec{v: v}
+}
+
+// Add attaches (or replaces) the child for one label value. fn must be
+// monotone non-decreasing, as for any counter.
+func (c *CounterFuncVec) Add(value string, fn func() int64) {
+	c.v.add(value, func() float64 { return float64(fn()) })
+}
+
+// GaugeFuncVec is a labeled family of function-backed gauges (e.g.
+// finereg_fleet_node_up{node=...}).
+type GaugeFuncVec struct{ v *funcVec }
+
+// NewGaugeFuncVec registers a gauge family with one label dimension.
+func (r *Registry) NewGaugeFuncVec(name, help, label string) *GaugeFuncVec {
+	v := &funcVec{name: name, help: help, typ: "gauge", label: label,
+		fns: map[string]func() float64{}}
+	r.register(v)
+	return &GaugeFuncVec{v: v}
+}
+
+// Add attaches (or replaces) the child for one label value.
+func (g *GaugeFuncVec) Add(value string, fn func() float64) { g.v.add(value, fn) }
+
+// Remove drops the child for one label value (a departed worker node).
+func (g *GaugeFuncVec) Remove(value string) { g.v.remove(value) }
+
 // ---- Histogram ----
 
 // Histogram counts observations into fixed upper-bound buckets,

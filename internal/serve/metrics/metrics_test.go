@@ -174,6 +174,80 @@ func TestHistogramObserveConcurrent(t *testing.T) {
 
 func formatInt(n int) string { return strconv.Itoa(n) }
 
+// TestFuncVecRender pins the labeled-family exposition: one HELP/TYPE
+// header, one child line per label value in insertion order, counters as
+// integers and gauges in float formatting, late Add and Remove honored.
+func TestFuncVecRender(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterFuncVec("hits_total", "Hits by source.", "source")
+	cv.Add("mem", func() int64 { return 7 })
+	cv.Add("disk", func() int64 { return 3 })
+	gv := r.NewGaugeFuncVec("node_up", "Node liveness.", "node")
+	gv.Add("http://a:1", func() float64 { return 1 })
+
+	// Children can join after registration (nodes joining a fleet).
+	cv.Add("remote", func() int64 { return 0 })
+	gv.Add("http://b:2", func() float64 { return 0.5 })
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP hits_total Hits by source.",
+		"# TYPE hits_total counter",
+		`hits_total{source="mem"} 7`,
+		`hits_total{source="disk"} 3`,
+		`hits_total{source="remote"} 0`,
+		"# TYPE node_up gauge",
+		`node_up{node="http://a:1"} 1`,
+		`node_up{node="http://b:2"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE hits_total counter") != 1 {
+		t.Error("labeled family rendered more than one TYPE header")
+	}
+	if strings.Index(out, `source="mem"`) > strings.Index(out, `source="disk"`) {
+		t.Error("labeled children not in insertion order")
+	}
+
+	// Replacing a child's function is idempotent re-registration, not a
+	// duplicate panic; removing drops the line.
+	cv.Add("mem", func() int64 { return 8 })
+	gv.Remove("http://b:2")
+	out = render(r)
+	if !strings.Contains(out, `hits_total{source="mem"} 8`) {
+		t.Errorf("re-Add did not replace child:\n%s", out)
+	}
+	if strings.Contains(out, `node_up{node="http://b:2"}`) {
+		t.Errorf("Remove left the child behind:\n%s", out)
+	}
+}
+
+// TestFuncVecConcurrent exercises Add/Remove/Render races.
+func TestFuncVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	gv := r.NewGaugeFuncVec("v", "", "node")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := "n" + strconv.Itoa(i)
+			for k := 0; k < 100; k++ {
+				gv.Add(name, func() float64 { return float64(k) })
+				var sb strings.Builder
+				r.Render(&sb)
+				if k%10 == 0 {
+					gv.Remove(name)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestConcurrentUse exercises every mutator under the race detector.
 func TestConcurrentUse(t *testing.T) {
 	r := NewRegistry()

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"sync"
+)
+
+// admitQueue is the bounded admission queue behind POST /v1/jobs and
+// /v1/batches. It replaces the original FIFO channel with a scheduling
+// structure that is aware of request priority and submitting client:
+//
+//   - Strict priority: a queued job with higher Priority is always
+//     dequeued before any lower-priority job, regardless of arrival order.
+//   - Fair share within a priority: jobs of equal priority are drained
+//     round-robin across clients, so one client bulk-submitting a sweep
+//     cannot starve another client's interactive single jobs; within one
+//     client, arrival order (FIFO) is preserved.
+//   - Preemptive shedding: when the queue is full, an incoming job may
+//     evict ("preempt") queued jobs of strictly lower priority instead of
+//     being blindly 429ed. Equal-or-higher-priority backlog still sheds
+//     the newcomer — with every request at the default priority 0 the
+//     queue degrades to exactly the old FIFO + shed-the-newcomer behavior.
+//
+// The zero priority is the default for all existing clients, so a server
+// that never sees a Priority field behaves byte-for-byte as before.
+type admitQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	limit int
+	n     int
+	seq   int64
+
+	// clients maps client id -> pending records ordered by (priority
+	// desc, arrival seq asc); order is the round-robin ring over clients
+	// with pending work, next the cursor into it. A client whose queue
+	// drains is removed from the ring (and re-enters at the back on its
+	// next submission), which both bounds memory to active clients and
+	// gives newly active clients immediate service.
+	clients map[string][]*record
+	order   []string
+	next    int
+
+	closed bool
+}
+
+func newAdmitQueue(limit int) *admitQueue {
+	q := &admitQueue{limit: limit, clients: map[string][]*record{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *admitQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+func (q *admitQueue) capacity() int { return q.limit }
+
+// admit atomically admits recs whole or not at all. When the free space
+// is short it preempts queued records of strictly lower priority than the
+// *lowest* incoming priority (lowest-priority, most-recently-arrived
+// victims first). Returns the evicted records — the caller owns failing
+// them — and whether admission succeeded.
+func (q *admitQueue) admit(recs []*record) (victims []*record, ok bool) {
+	if len(recs) == 0 {
+		return nil, true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, false
+	}
+	if len(recs) > q.limit {
+		return nil, false
+	}
+	need := len(recs) - (q.limit - q.n)
+	if need > 0 {
+		floor := recs[0].pri()
+		for _, r := range recs[1:] {
+			if p := r.pri(); p < floor {
+				floor = p
+			}
+		}
+		victims = q.pickVictimsLocked(need, floor)
+		if len(victims) < need {
+			return nil, false
+		}
+		for _, v := range victims {
+			q.removeLocked(v)
+		}
+	}
+	for _, rec := range recs {
+		q.seq++
+		rec.setQueueSeq(q.seq)
+		q.pushLocked(rec)
+	}
+	q.cond.Broadcast()
+	return victims, true
+}
+
+// pickVictimsLocked selects up to need queued records with priority
+// strictly below floor: lowest priority first, youngest (highest seq)
+// first among equals — the jobs that have waited least lose first.
+func (q *admitQueue) pickVictimsLocked(need, floor int) []*record {
+	var pool []*record
+	for _, recs := range q.clients {
+		for _, r := range recs {
+			if r.pri() < floor {
+				pool = append(pool, r)
+			}
+		}
+	}
+	// Selection sort of the first `need` victims; pools are tiny (bounded
+	// by the queue capacity).
+	var victims []*record
+	for len(victims) < need && len(pool) > 0 {
+		best := 0
+		for i := 1; i < len(pool); i++ {
+			pi, pb := pool[i].pri(), pool[best].pri()
+			if pi < pb || (pi == pb && pool[i].queueSeq() > pool[best].queueSeq()) {
+				best = i
+			}
+		}
+		victims = append(victims, pool[best])
+		pool = append(pool[:best], pool[best+1:]...)
+	}
+	return victims
+}
+
+// pushLocked inserts rec into its client's queue keeping (priority desc,
+// seq asc) order, registering the client in the round-robin ring if it
+// had no pending work.
+func (q *admitQueue) pushLocked(rec *record) {
+	client := rec.clientID()
+	recs, existed := q.clients[client]
+	i := len(recs)
+	for ; i > 0; i-- {
+		if recs[i-1].pri() >= rec.pri() {
+			break
+		}
+	}
+	recs = append(recs, nil)
+	copy(recs[i+1:], recs[i:])
+	recs[i] = rec
+	q.clients[client] = recs
+	if !existed {
+		q.order = append(q.order, client)
+	}
+	q.n++
+}
+
+// removeLocked deletes rec from its client queue (no-op if absent).
+func (q *admitQueue) removeLocked(rec *record) {
+	client := rec.clientID()
+	recs := q.clients[client]
+	for i, r := range recs {
+		if r == rec {
+			q.clients[client] = append(recs[:i], recs[i+1:]...)
+			q.n--
+			q.dropClientIfEmptyLocked(client)
+			return
+		}
+	}
+}
+
+func (q *admitQueue) dropClientIfEmptyLocked(client string) {
+	if len(q.clients[client]) > 0 {
+		return
+	}
+	delete(q.clients, client)
+	for i, c := range q.order {
+		if c == client {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			if q.next > i {
+				q.next--
+			}
+			if len(q.order) > 0 {
+				q.next %= len(q.order)
+			} else {
+				q.next = 0
+			}
+			return
+		}
+	}
+}
+
+// raise bumps rec's priority to p if it is still queued and p is higher
+// (a duplicate submission at higher priority promotes the shared record).
+// Reports whether a bump happened.
+func (q *admitQueue) raise(rec *record, p int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	recs := q.clients[rec.clientID()]
+	for i, r := range recs {
+		if r == rec {
+			if p <= rec.pri() {
+				return false
+			}
+			// Remove and re-insert at the new priority position.
+			q.clients[rec.clientID()] = append(recs[:i], recs[i+1:]...)
+			q.n--
+			rec.setPriority(p)
+			q.pushLocked(rec)
+			return true
+		}
+	}
+	return false
+}
+
+// pop blocks until a record is available (or the queue is closed and
+// empty) and returns the next record by (priority, client round-robin,
+// FIFO) order. After close, the remaining backlog still drains through
+// pop so the caller can fail it fast.
+func (q *admitQueue) pop() (*record, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.n > 0 {
+			return q.popLocked(), true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *admitQueue) popLocked() *record {
+	// Highest priority on offer: each client queue is priority-sorted, so
+	// only heads need scanning.
+	best := 0
+	first := true
+	for _, client := range q.order {
+		if recs := q.clients[client]; len(recs) > 0 {
+			if p := recs[0].pri(); first || p > best {
+				best, first = p, false
+			}
+		}
+	}
+	// Round-robin among the clients whose head sits at that priority.
+	for i := 0; i < len(q.order); i++ {
+		idx := (q.next + i) % len(q.order)
+		client := q.order[idx]
+		recs := q.clients[client]
+		if len(recs) == 0 || recs[0].pri() != best {
+			continue
+		}
+		rec := recs[0]
+		q.clients[client] = recs[1:]
+		q.n--
+		q.next = (idx + 1) % len(q.order)
+		q.dropClientIfEmptyLocked(client)
+		return rec
+	}
+	panic("serve: admitQueue accounting out of sync") // n > 0 guaranteed a head
+}
+
+// close wakes every waiter; pop drains the backlog then reports closed.
+func (q *admitQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -48,12 +49,19 @@ type record struct {
 	key string
 	job *runner.Job
 
+	// client is the submitting client's self-reported id (admission
+	// fair-share bucket); immutable after creation.
+	client string
+
 	// dropped counts events lost to lagging subscribers (set once at
 	// admission to the server's SSE-drop counter; nil in tests that build
 	// bare records).
 	dropped *metrics.Counter
 
 	mu        sync.Mutex
+	priority  int   // admission priority; raised by higher-priority duplicates
+	qseq      int64 // admission queue arrival sequence
+	preempted bool  // failed by a higher-priority preemption (resubmission re-runs)
 	state     string
 	seq       int64 // monotone event sequence (history may be pruned)
 	nProgress int   // progress events currently retained in events
@@ -77,6 +85,42 @@ func newRecord(id, key string, j *runner.Job) *record {
 		subs:  map[chan Event]struct{}{},
 		done:  make(chan struct{}),
 	}
+}
+
+// pri / setPriority / queueSeq / setQueueSeq / clientID are the admission
+// queue's accessors; the queue serializes mutation under its own lock and
+// these guard the fields against concurrent status() reads.
+func (r *record) pri() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.priority
+}
+
+func (r *record) setPriority(p int) {
+	r.mu.Lock()
+	r.priority = p
+	r.mu.Unlock()
+}
+
+func (r *record) queueSeq() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.qseq
+}
+
+func (r *record) setQueueSeq(s int64) {
+	r.mu.Lock()
+	r.qseq = s
+	r.mu.Unlock()
+}
+
+func (r *record) clientID() string { return r.client }
+
+// wasPreempted reports a terminal state caused by priority preemption.
+func (r *record) wasPreempted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.preempted
 }
 
 func unixMS(t time.Time) int64 {
@@ -140,10 +184,13 @@ func (r *record) progress(s trace.ProgressSample) {
 		State:        r.state,
 		AtMS:         time.Now().UnixMilli(),
 		Cycle:        s.Cycle,
+		CycleDelta:   s.CycleDelta,
 		GridCTAs:     s.GridCTAs,
 		CTAsLaunched: s.CTAsLaunched,
 		CTAsRetired:  s.CTAsRetired,
+		Instructions: s.Instructions,
 		CyclesPerSec: s.CyclesPerSec,
+		Final:        s.Final,
 		Ops:          s.Ops,
 	}
 	if r.nProgress >= progressKeep {
@@ -181,21 +228,30 @@ func (r *record) start() {
 }
 
 // finish records the terminal state and wakes waiters. err == nil means
-// success; cached reports a cache/dedup hit.
-func (r *record) finish(res *runner.Result, err error, cached bool) {
+// success; cached reports a cache/dedup hit. The commit is at-most-once:
+// a record that is already terminal ignores further finishes and reports
+// false — under fleet dispatch a requeued job can in principle complete
+// twice (the node presumed dead finishes after its replacement), and only
+// the first result, keyed by the record's content hash, is committed.
+func (r *record) finish(res *runner.Result, err error, cached bool) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.state == stateDone || r.state == stateFailed {
+		return false
+	}
 	r.finished = time.Now()
 	r.cached = cached
 	if err != nil {
 		r.state = stateFailed
 		r.errMsg = err.Error()
+		r.preempted = errors.Is(err, errPreempted)
 	} else {
 		r.state = stateDone
 		r.result = res
 	}
 	r.appendEventLocked(eventFinish)
 	close(r.done)
+	return true
 }
 
 // latency returns queued→finished wall time (0 until finished).
@@ -216,6 +272,8 @@ func (r *record) status() JobStatus {
 		ID:           r.id,
 		Key:          r.key,
 		Label:        r.job.Label,
+		Client:       r.client,
+		Priority:     r.priority,
 		State:        r.state,
 		Cached:       r.cached,
 		Error:        r.errMsg,

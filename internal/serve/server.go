@@ -29,6 +29,32 @@ import (
 	"finereg/internal/trace"
 )
 
+// Runner is the dispatch seam: it executes one admitted job to
+// completion and reports (result, served-from-cache, error). The default
+// runs the job on the server's local engine; a fleet coordinator installs
+// a dispatcher that routes the job to a worker node instead
+// (internal/fleet). Implementations may optionally expose
+//
+//	StopAll() int
+//
+// which Shutdown invokes when the drain deadline expires to interrupt
+// whatever is still in flight.
+type Runner interface {
+	RunJob(j *runner.Job) (res *runner.Result, cached bool, err error)
+}
+
+// localRunner executes jobs on the server's own engine — the single-node
+// default for the dispatch seam.
+type localRunner struct{ e *runner.Engine }
+
+func (l localRunner) RunJob(j *runner.Job) (*runner.Result, bool, error) {
+	b := l.e.Run([]*runner.Job{j})
+	cached := b.Stats.CacheHits+b.Stats.Deduped > 0
+	return b.Results[0], cached, b.Errs[0]
+}
+
+func (l localRunner) StopAll() int { return l.e.StopAll() }
+
 // Config sizes the server.
 type Config struct {
 	// Engine executes the jobs; nil builds a default engine with an
@@ -36,6 +62,10 @@ type Config struct {
 	// Events sink (preserving any sink already attached) so progress
 	// observers and the service's own metrics share the lifecycle stream.
 	Engine *runner.Engine
+	// Runner overrides how admitted jobs are executed (nil = run on
+	// Engine). A fleet coordinator supplies a dispatcher here; everything
+	// else — admission, records, SSE, metrics — is unchanged.
+	Runner Runner
 	// Workers is the number of jobs simulated concurrently (<= 0 means
 	// GOMAXPROCS). Each worker drives one single-job engine batch at a
 	// time.
@@ -73,6 +103,7 @@ const (
 type Server struct {
 	cfg    Config
 	engine *runner.Engine
+	runner Runner
 	fan    *trace.Fanout
 	reg    *metrics.Registry
 	mux    *http.ServeMux
@@ -82,7 +113,7 @@ type Server struct {
 	batches  map[string]*batchRecord
 	batchIDs []string // insertion order, for eviction
 	doneIDs  []string // completed records, eviction order
-	queue    chan *record
+	queue    *admitQueue
 	draining bool
 	batchSeq int64
 
@@ -96,6 +127,7 @@ type Server struct {
 	mSubmitted  *metrics.Counter
 	mCoalesced  *metrics.Counter
 	mShed       *metrics.Counter
+	mPreempted  *metrics.Counter
 	mDone       *metrics.Counter
 	mFailed     *metrics.Counter
 	mInflight   *metrics.Gauge
@@ -134,12 +166,16 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		engine:  cfg.Engine,
+		runner:  cfg.Runner,
 		reg:     metrics.NewRegistry(),
 		records: map[string]*record{},
 		batches: map[string]*batchRecord{},
-		queue:   make(chan *record, cfg.QueueCap),
+		queue:   newAdmitQueue(cfg.QueueCap),
 		drainCh: make(chan struct{}),
 		rates:   map[string]float64{},
+	}
+	if s.runner == nil {
+		s.runner = localRunner{e: s.engine}
 	}
 
 	// The engine's Events slot becomes a fan-out: an existing sink (a CLI
@@ -183,6 +219,8 @@ func (s *Server) initMetrics() {
 		"Submissions answered by an existing in-flight or completed job.")
 	s.mShed = r.NewCounter("finereg_serve_shed_total",
 		"Submissions rejected with 429 because the admission queue was full.")
+	s.mPreempted = r.NewCounter("finereg_serve_preempted_total",
+		"Queued jobs evicted by higher-priority submissions to a full queue.")
 	s.mDone = r.NewCounter("finereg_serve_jobs_done_total",
 		"Jobs that finished successfully.")
 	s.mFailed = r.NewCounter("finereg_serve_jobs_failed_total",
@@ -200,10 +238,10 @@ func (s *Server) initMetrics() {
 		metrics.DefLatencyBuckets)
 	r.NewGaugeFunc("finereg_serve_queue_depth",
 		"Jobs waiting in the admission queue.",
-		func() float64 { return float64(len(s.queue)) })
+		func() float64 { return float64(s.queue.depth()) })
 	r.NewGaugeFunc("finereg_serve_queue_capacity",
 		"Admission queue capacity.",
-		func() float64 { return float64(cap(s.queue)) })
+		func() float64 { return float64(s.queue.capacity()) })
 	// Engine- and cache-level series, read at scrape time.
 	r.NewCounterFunc("finereg_engine_jobs_executed_total",
 		"Fresh simulations executed by the run engine.",
@@ -211,6 +249,18 @@ func (s *Server) initMetrics() {
 	r.NewCounterFunc("finereg_engine_cache_hits_total",
 		"Engine results served from the content-addressed cache.",
 		func() int64 { return s.engine.Stats().CacheHits })
+	// Cache hits split by the tier that served them: process memory, the
+	// node's on-disk store (L2), or the fleet's shared remote tier.
+	if c := s.engine.Cache; c != nil {
+		vec := r.NewCounterFuncVec("finereg_cache_hits_total",
+			"Content-addressed cache hits by serving tier.", "source")
+		vec.Add("mem", func() int64 { return c.Stats().MemHits })
+		vec.Add("disk", func() int64 { return c.Stats().DiskHits })
+		vec.Add("remote", func() int64 { return c.Stats().RemoteHits })
+		r.NewCounterFunc("finereg_cache_misses_total",
+			"Content-addressed cache lookups that missed every tier.",
+			func() int64 { return c.Stats().Misses })
+	}
 	r.NewGaugeFunc("finereg_engine_inflight_simulations",
 		"Simulations currently executing inside the engine.",
 		func() float64 { return float64(s.engine.InFlight()) })
@@ -295,45 +345,97 @@ func (s *Server) fingerprint() string {
 // jobID derives the server identity from the content-addressed key.
 func jobID(key string) string { return "j" + key[:16] }
 
-// errDraining and errQueueFull classify admission failures.
+// errDraining, errQueueFull, and errPreempted classify admission
+// failures.
 var (
 	errDraining  = fmt.Errorf("serve: server is draining")
 	errQueueFull = fmt.Errorf("serve: admission queue full")
+	errPreempted = fmt.Errorf("serve: preempted by a higher-priority submission")
 )
+
+// jobMeta carries per-submission admission attributes that are not part
+// of the job's content-addressed identity.
+type jobMeta struct {
+	priority int
+	client   string
+}
 
 // admit atomically admits a set of resolved jobs: every job is either
 // coalesced onto an existing record or enqueued; if the fresh jobs do not
-// all fit in the queue, nothing is admitted and errQueueFull is returned
-// (a batch is admitted whole or shed whole). Returns one status per job
-// in input order.
-func (s *Server) admit(jobs []*runner.Job) ([]SubmitStatus, []*record, error) {
+// all fit in the queue — after preempting any strictly lower-priority
+// queued jobs — nothing is admitted and errQueueFull is returned (a batch
+// is admitted whole or shed whole). meta may be nil (all defaults); when
+// present it must be parallel to jobs. Returns one status per job in
+// input order.
+func (s *Server) admit(jobs []*runner.Job, meta []jobMeta) ([]SubmitStatus, []*record, error) {
+	out, recs, victims, err := s.admitLocked(jobs, meta)
+	// Victims are failed outside s.mu: completed() re-locks it, and
+	// record transitions never need the server lock.
+	for _, v := range victims {
+		s.mPreempted.Inc()
+		if v.finish(nil, errPreempted, false) {
+			s.completed(v, false)
+		}
+	}
+	return out, recs, err
+}
+
+func (s *Server) admitLocked(jobs []*runner.Job, meta []jobMeta) ([]SubmitStatus, []*record, []*record, error) {
 	fp := s.fingerprint()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, nil, errDraining
+		return nil, nil, nil, errDraining
 	}
 
 	type slot struct {
 		rec       *record
 		coalesced bool
 	}
+	metaAt := func(i int) jobMeta {
+		if meta == nil {
+			return jobMeta{}
+		}
+		return meta[i]
+	}
 	slots := make([]slot, len(jobs))
 	var fresh []*record
+	var replaced []string // ids of preempted records being re-admitted
 	newIDs := map[string]*record{}
+	var raises []struct {
+		rec *record
+		pri int
+	}
 	for i, j := range jobs {
 		key := j.Key(fp)
 		id := jobID(key)
-		if rec, ok := s.records[id]; ok {
+		if rec, ok := s.records[id]; ok && !rec.wasPreempted() {
 			slots[i] = slot{rec: rec, coalesced: true}
+			// A higher-priority duplicate promotes the shared record if
+			// it is still waiting in the queue.
+			if p := metaAt(i).priority; p > rec.pri() {
+				raises = append(raises, struct {
+					rec *record
+					pri int
+				}{rec, p})
+			}
 			continue
+		} else if ok {
+			// The earlier incarnation was preempted before running; a
+			// resubmission re-runs it under a fresh record (same id).
+			replaced = append(replaced, id)
 		}
 		if rec, ok := newIDs[id]; ok { // duplicate within this submission
 			slots[i] = slot{rec: rec, coalesced: true}
+			if p := metaAt(i).priority; p > rec.pri() {
+				rec.setPriority(p)
+			}
 			continue
 		}
 		rec := newRecord(id, key, j)
 		rec.dropped = s.mSSEDropped
+		rec.client = metaAt(i).client
+		rec.setPriority(metaAt(i).priority)
 		if s.cfg.ProgressEvery > 0 {
 			// In-run sampling: excluded from the job key, so the sampled
 			// job hits the same cache entries as an unsampled twin.
@@ -345,14 +447,25 @@ func (s *Server) admit(jobs []*runner.Job) ([]SubmitStatus, []*record, error) {
 		slots[i] = slot{rec: rec}
 	}
 
-	if len(fresh) > cap(s.queue)-len(s.queue) {
+	// The submit event is appended before the queue can hand the record
+	// to a worker, so streams always open with "submit". Records of a
+	// shed batch are never registered and thus never observable.
+	for _, rec := range fresh {
+		rec.submitted()
+	}
+	victims, ok := s.queue.admit(fresh)
+	if !ok {
 		s.mShed.Add(int64(len(jobs)))
-		return nil, nil, errQueueFull
+		return nil, nil, nil, errQueueFull
+	}
+	for _, id := range replaced {
+		s.forgetDoneLocked(id)
 	}
 	for _, rec := range fresh {
 		s.records[rec.id] = rec
-		rec.submitted()
-		s.queue <- rec // cannot block: room checked under s.mu, only admit sends
+	}
+	for _, r := range raises {
+		s.queue.raise(r.rec, r.pri)
 	}
 
 	out := make([]SubmitStatus, len(jobs))
@@ -366,17 +479,35 @@ func (s *Server) admit(jobs []*runner.Job) ([]SubmitStatus, []*record, error) {
 			s.mCoalesced.Inc()
 		}
 	}
-	return out, recs, nil
+	return out, recs, victims, nil
 }
 
-// worker executes admitted jobs one at a time on the shared engine.
+// forgetDoneLocked drops id's completed-record eviction entry when the
+// record is replaced in place (a preempted job being re-admitted), so the
+// stale entry cannot later evict the fresh incarnation.
+func (s *Server) forgetDoneLocked(id string) {
+	for i, d := range s.doneIDs {
+		if d == id {
+			s.doneIDs = append(s.doneIDs[:i], s.doneIDs[i+1:]...)
+			return
+		}
+	}
+}
+
+// worker executes admitted jobs one at a time through the dispatch seam
+// (the local engine by default, a fleet dispatcher on a coordinator).
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for rec := range s.queue {
+	for {
+		rec, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		if s.isDraining() {
 			// Queued but never started: fail fast so waiters unblock.
-			rec.finish(nil, errDraining, false)
-			s.completed(rec, false)
+			if rec.finish(nil, errDraining, false) {
+				s.completed(rec, false)
+			}
 			continue
 		}
 		if hook := s.testBeforeRun; hook != nil {
@@ -384,11 +515,11 @@ func (s *Server) worker() {
 		}
 		rec.start()
 		s.mInflight.Add(1)
-		b := s.engine.Run([]*runner.Job{rec.job})
+		res, cached, err := s.runner.RunJob(rec.job)
 		s.mInflight.Add(-1)
-		cached := b.Stats.CacheHits+b.Stats.Deduped > 0
-		rec.finish(b.Results[0], b.Errs[0], cached)
-		s.completed(rec, b.Errs[0] == nil)
+		if rec.finish(res, err, cached) {
+			s.completed(rec, err == nil)
+		}
 	}
 }
 

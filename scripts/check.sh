@@ -27,6 +27,12 @@ go run ./cmd/finereg-sim -sms 2 -bench CS,MC,LB -policy all -grid-scale 0.05 -au
 # line (not folded into the -short pass above) so the service smoke can
 # never be silently dropped by a test-tag or -short policy change.
 go test -race -count=1 -timeout 10m ./internal/serve/...
+# Fleet gate: the distributed coordinator/worker path end to end under
+# the race detector — rendezvous routing, the remote cache tier,
+# work-stealing, and the worker-kill requeue e2e (byte-identical against
+# the single-node engine). -count=1 so the kill/requeue scenario really
+# re-runs every time instead of being answered from the test cache.
+go test -race -count=1 -timeout 10m ./internal/fleet/...
 # Telemetry gate: the in-run progress path under the race detector — the
 # sampler in gpu.Run, the global op-count registry, the engine's sink
 # forwarding, and the SSE progress stream — plus the golden-matrix proof
