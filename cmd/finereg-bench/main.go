@@ -17,6 +17,9 @@
 // paper scale (16 SMs, reference grid), best of three, reporting simulated
 // cycles per wall-clock second. This is the number the event-driven core
 // optimizes; scripts/bench_sweep.sh records it as BENCH_hotpath.json.
+// The report also sweeps the sharded event core (gpu.Config.Shards at
+// 1/2/4/8 on the paper-16sm finereg cell) — the intra-simulation
+// parallelism axis; its speedup only materializes on multi-core hosts.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the measured
 // runs; see EXPERIMENTS.md for the analysis workflow.
@@ -61,9 +64,11 @@ type report struct {
 }
 
 // hotpathRow is one policy × machine-scale throughput measurement.
+// Shards > 0 marks a sharded-core sweep row (0 = the serial loop).
 type hotpathRow struct {
 	Scale        string  `json:"scale"`
 	SMs          int     `json:"sms"`
+	Shards       int     `json:"shards,omitempty"`
 	Policy       string  `json:"policy"`
 	Bench        string  `json:"bench"`
 	Grid         int     `json:"grid"`
@@ -73,13 +78,19 @@ type hotpathRow struct {
 }
 
 type hotpathReport struct {
-	Date     string          `json:"date"`
-	GOOS     string          `json:"goos"`
-	GOARCH   string          `json:"goarch"`
-	NumCPU   int             `json:"num_cpu"`
-	Reps     int             `json:"reps"`
-	Rows     []hotpathRow    `json:"rows"`
-	Progress hotpathOverhead `json:"progress"`
+	Date   string       `json:"date"`
+	GOOS   string       `json:"goos"`
+	GOARCH string       `json:"goarch"`
+	NumCPU int          `json:"num_cpu"`
+	Reps   int          `json:"reps"`
+	Rows   []hotpathRow `json:"rows"`
+	// ShardSpeedup is cycles/s at the best swept shard count over the
+	// serial loop, paper-16sm finereg cell. Only meaningful on multi-core
+	// hosts — with NumCPU 1 the shards time-slice one core and the ratio
+	// sits at or below 1.
+	ShardSpeedup float64         `json:"shard_speedup,omitempty"`
+	BestShards   int             `json:"best_shards,omitempty"`
+	Progress     hotpathOverhead `json:"progress"`
 }
 
 // hotpathOverhead is the observability tax measurement: the quick-4sm
@@ -244,8 +255,55 @@ func runHotpath() hotpathReport {
 			})
 		}
 	}
+	r.runShardSweep()
 	r.Progress = runProgressOverhead()
 	return r
+}
+
+// runShardSweep times the paper-16sm finereg cell under the sharded
+// event core at increasing shard counts (1 = the serial loop, measured
+// here too so the comparison shares a process and cache state). Results
+// are byte-identical at every count — the golden matrix pins that — so
+// the only thing that moves is wall-clock time, and only when the host
+// has cores to spread the shards over.
+func (r *hotpathReport) runShardSweep() {
+	cfg := finereg.DefaultConfig()
+	serial := 0.0
+	for _, shards := range []int{1, 2, 4, 8} {
+		cfg.Shards = shards
+		var cycles int64
+		best := 0.0
+		for rep := 0; rep < hotpathReps; rep++ {
+			start := time.Now()
+			m, err := finereg.RunBenchmark(cfg, "CS", 0, finereg.FineReg())
+			secs := time.Since(start).Seconds()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "finereg-bench: shard sweep shards=%d: %v\n", shards, err)
+				os.Exit(1)
+			}
+			cycles = m.Cycles
+			if rep == 0 || secs < best {
+				best = secs
+			}
+		}
+		cps := float64(cycles) / best
+		r.Rows = append(r.Rows, hotpathRow{
+			Scale:        "paper-16sm",
+			SMs:          cfg.NumSMs,
+			Shards:       shards,
+			Policy:       "finereg",
+			Bench:        "CS",
+			Cycles:       cycles,
+			Seconds:      best,
+			CyclesPerSec: cps,
+		})
+		if shards == 1 {
+			serial = cps
+		} else if speedup := cps / serial; speedup > r.ShardSpeedup {
+			r.ShardSpeedup = speedup
+			r.BestShards = shards
+		}
+	}
 }
 
 // runProgressOverhead times the quick-4sm finereg cell with progress

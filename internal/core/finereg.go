@@ -162,7 +162,7 @@ func (f *FineReg) FillSlots(s *sm.SM, now int64) {
 
 // adopt initializes policy bookkeeping for a newly launched active CTA.
 func (f *FineReg) adopt(c *sm.CTA) {
-	telACRFLaunches.Inc()
+	telACRFLaunches.IncScoped(f.hier.Ops())
 	f.acrfFree -= c.RegCost
 	info := &ctaInfo{slot: f.takeSlot(), head: -1}
 	c.SetPolicyData(info)
@@ -217,7 +217,7 @@ func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
 			f.blockedSince = now
 		}
 		f.DepletionEvents++
-		telDepletion.Inc()
+		telDepletion.IncScoped(f.hier.Ops())
 		// Overflow means the CTA population has outgrown the PCRF; hold
 		// fresh launches for one memory round-trip so pending chains can
 		// drain back out instead of piling more CTAs onto a full file.
@@ -229,8 +229,8 @@ func (f *FineReg) trySwitch(s *sm.SM, c *sm.CTA, now int64) {
 		restored := f.pcrf.ReleaseChainCount(inInfo.head)
 		s.Cnt.PCRFReads += int64(restored)
 		s.Cnt.RFWrites += int64(restored)
-		telPCRFFills.Inc()
-		telPCRFFillReg.Add(int64(restored))
+		telPCRFFills.IncScoped(f.hier.Ops())
+		telPCRFFillReg.AddScoped(f.hier.Ops(), int64(restored))
 		inInfo.head, inInfo.chainLen = -1, 0
 		evictBv := f.bitvecDelay(s, c, now)
 		f.evictStore(s, c, now)
@@ -336,8 +336,8 @@ func (f *FineReg) evictStore(s *sm.SM, c *sm.CTA, now int64) int64 {
 	}
 	s.Cnt.PCRFWrites += int64(len(refs))
 	s.Cnt.RFReads += int64(len(refs))
-	telPCRFSpills.Inc()
-	telPCRFSpillReg.Add(int64(len(refs)))
+	telPCRFSpills.IncScoped(f.hier.Ops())
+	telPCRFSpillReg.AddScoped(f.hier.Ops(), int64(len(refs)))
 	if t := s.Trace(); t != nil {
 		t.RegTransfer(s.ID, c.ID, trace.XferEvictToPCRF, len(refs), len(refs)*sm.WarpRegBytes, now)
 	}
@@ -356,8 +356,8 @@ func (f *FineReg) restore(s *sm.SM, c *sm.CTA, now, extraLat int64) {
 	n := f.pcrf.ReleaseChainCount(info.head)
 	s.Cnt.PCRFReads += int64(n)
 	s.Cnt.RFWrites += int64(n)
-	telPCRFFills.Inc()
-	telPCRFFillReg.Add(int64(n))
+	telPCRFFills.IncScoped(f.hier.Ops())
+	telPCRFFillReg.AddScoped(f.hier.Ops(), int64(n))
 	info.head, info.chainLen = -1, 0
 	f.acrfFree -= c.RegCost
 	f.mon.Set(info.slot, CtxPipeline, RegACRF)

@@ -226,9 +226,12 @@ func Figure14(opts Options) (*Figure14Result, error) {
 		if r.memHeavy {
 			memSum += bestFrac
 			fr := runs[r.fineRef]
+			// RegDepletionStallCycles sums over SMs; normalize by
+			// Cycles×SMs for the per-SM stall fraction of Figure 14(b).
+			denom := float64(bestRun.Metrics.Cycles) * float64(opts.SMs)
 			res.StallFrac[r.bench] = [2]float64{
-				float64(bestRun.Metrics.RegDepletionStallCycles) / float64(bestRun.Metrics.Cycles),
-				float64(fr.Metrics.RegDepletionStallCycles) / float64(fr.Metrics.Cycles),
+				float64(bestRun.Metrics.RegDepletionStallCycles) / denom,
+				float64(fr.Metrics.RegDepletionStallCycles) / (float64(fr.Metrics.Cycles) * float64(opts.SMs)),
 			}
 		}
 	}

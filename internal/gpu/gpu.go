@@ -14,6 +14,7 @@ import (
 	"finereg/internal/audit"
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
+	"finereg/internal/par"
 	"finereg/internal/sm"
 	"finereg/internal/stats"
 	"finereg/internal/telemetry"
@@ -76,6 +77,17 @@ type Config struct {
 	// ProgressEvery is the sample period in simulated cycles
 	// (0 = DefaultProgressEvery).
 	ProgressEvery int64 `json:"-"`
+
+	// Shards is the worker-goroutine count for intra-run SM parallelism:
+	// a parallel event step Ticks due SMs across min(Shards, NumSMs)
+	// goroutines with shared-state access serialized in canonical SM
+	// order (internal/par, DESIGN.md §15), so results are byte-identical
+	// at every shard count — pinned by audit/diff's golden matrix.
+	// 0 or 1 selects the serial loop; runs with a trace sink attached
+	// always run serial (sinks are not shard-safe). Excluded from the
+	// runner job key (json:"-"): shards change wall-clock time, never
+	// results, so sharded and serial runs share cache entries.
+	Shards int `json:"-"`
 }
 
 // DefaultProgressEvery is the Progress sample period when
@@ -140,6 +152,13 @@ type GPU struct {
 	disp *dispatcher
 	sink trace.Sink
 	stop atomic.Bool
+
+	// gate orders shared-state access during parallel event steps; armed
+	// only while a sharded round is in flight (see shard.go).
+	gate *par.Gate
+	// ops is the run-scoped telemetry view backing exact per-job
+	// ProgressSample.Ops attribution (nil when Progress is unset).
+	ops *telemetry.Scope
 }
 
 // Stop asynchronously aborts a running simulation: the next event step of
@@ -158,12 +177,23 @@ func (g *GPU) SetTrace(t trace.Sink) {
 	}
 }
 
-// New constructs the GPU with one policy instance per SM.
+// New constructs the GPU with one policy instance per SM. Each SM (and
+// its policy) receives its own ShardView of the memory hierarchy — a
+// shallow copy sharing the L2/DRAM but bound to the SM's slot in the
+// canonical order — so hierarchy traffic self-serializes when Run
+// executes event steps across shard goroutines.
 func New(cfg Config, pf PolicyFactory) *GPU {
 	hier := mem.NewHierarchy(cfg.L2Bytes, cfg.L2Ways, cfg.DRAMLatency, cfg.DRAMBytesPerCycle, cfg.Lat)
-	g := &GPU{Cfg: cfg, Hier: hier, disp: &dispatcher{}}
+	g := &GPU{Cfg: cfg, Hier: hier, disp: &dispatcher{}, gate: par.NewGate()}
+	if cfg.Progress != nil {
+		g.ops = telemetry.NewScope()
+		hier.SetOps(g.ops)
+	}
 	for i := 0; i < cfg.NumSMs; i++ {
-		g.SMs = append(g.SMs, sm.New(i, cfg.SM, hier, g.disp, pf(cfg.SM, hier)))
+		hv := hier.ShardView(g.gate, i)
+		s := sm.New(i, cfg.SM, hv, g.disp, pf(cfg.SM, hv))
+		s.SetGate(g.gate)
+		g.SMs = append(g.SMs, s)
 	}
 	return g
 }
@@ -206,7 +236,6 @@ func newProgressState(cb func(trace.ProgressSample), every int64) *progressState
 		nextAt:   every, // no sample at cycle 0
 		start:    now,
 		lastWall: now,
-		lastOps:  telemetry.Capture(),
 	}
 }
 
@@ -223,9 +252,12 @@ func (g *GPU) sampleProgress(p *progressState, now int64, final bool) {
 		resident += len(s.Residents())
 	}
 	cycD, instrD := now-p.lastCycle, instr-p.lastInstr
-	telCycles.Add(cycD)
-	telInstructions.Add(instrD)
-	ops := telemetry.Capture()
+	telCycles.AddScoped(g.ops, cycD)
+	telInstructions.AddScoped(g.ops, instrD)
+	// Per-run attribution: read this run's scope, not the process-global
+	// registry, so concurrent jobs never bleed into each other's Ops
+	// deltas (the globals still feed the fleet-wide /metrics series).
+	ops := g.ops.Capture()
 	rate := 0.0
 	if dt := wall.Sub(p.lastWall).Seconds(); dt > 0 {
 		rate = float64(cycD) / dt
@@ -244,7 +276,11 @@ func (g *GPU) sampleProgress(p *progressState, now int64, final bool) {
 	}
 	p.lastCycle, p.lastInstr = now, instr
 	p.lastWall, p.lastOps = wall, ops
-	p.nextAt = now + p.every
+	// Snap the next boundary to the period grid. Re-anchoring at the
+	// fired step (now + every) let every idle skip drift all later
+	// boundaries; the doc promises a sample at the first event step at or
+	// after each ProgressEvery multiple.
+	p.nextAt = (now/p.every + 1) * p.every
 	p.cb(sample)
 }
 
@@ -299,26 +335,54 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 		}
 	}
 
+	// Sharded execution (DESIGN.md §15): with Shards > 1 a pool of worker
+	// goroutines Ticks due SMs in parallel between the barrier points of
+	// this loop; everything below the Tick block — auditing, termination,
+	// sampling, time advance — runs on this goroutine exactly as in the
+	// serial loop. Steps with too few due SMs to amortize a round's
+	// synchronization are Ticked inline here instead (the gate stays
+	// disarmed, so those Ticks are as cheap as the serial loop's).
+	var pool *shardPool
+	if shards := g.effectiveShards(); shards > 1 {
+		pool = newShardPool(g, shards, wake, hasRes)
+		defer pool.close()
+	}
+
 	for {
 		if g.stop.Load() {
 			return nil, fmt.Errorf("%w at cycle %d", ErrInterrupted, now)
 		}
 		next := farFuture
-		for i, s := range g.SMs {
-			if wake[i] <= now {
-				n, _ := s.Tick(now)
-				wake[i] = n
-				if r := s.HasResidents(); r != hasRes[i] {
-					hasRes[i] = r
-					if r {
-						residentSMs++
-					} else {
-						residentSMs--
-					}
+		parallel := false
+		if pool != nil {
+			due := 0
+			for i := range wake {
+				if wake[i] <= now {
+					due++
 				}
 			}
-			if wake[i] < next {
-				next = wake[i]
+			if due >= minDueForParallel {
+				var err error
+				next, residentSMs, err = pool.step(now)
+				if err != nil {
+					return nil, err
+				}
+				parallel = true
+			}
+		}
+		if !parallel {
+			if pool != nil {
+				// A policy panic in an inline step of a sharded run
+				// surfaces as an error, exactly like one in a parallel
+				// round — the caller sees the same fault contract
+				// regardless of which path the faulting cycle took.
+				var err error
+				next, err = g.stepInlineProtected(now, wake, hasRes, &residentSMs)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				next = g.stepInline(now, wake, hasRes, &residentSMs)
 			}
 		}
 		if auditor != nil {
@@ -423,7 +487,6 @@ func (g *GPU) collect(k *kernels.Kernel, cycles int64) *stats.Metrics {
 		stallN += s.Cnt.StallLatencyN
 		m.RegDepletionStallCycles += s.Cnt.DepletionCycles
 	}
-	m.RegDepletionStallCycles /= int64(len(g.SMs))
 	if stallN > 0 {
 		m.CyclesToFirstStall = stallSum / float64(stallN)
 	}

@@ -60,11 +60,16 @@ func TestProgressSampling(t *testing.T) {
 		t.Fatalf("deltas sum to %d, final cycle %d, metrics report %d", sumDelta, last.Cycle, m.Cycles)
 	}
 
-	// Periodic samples respect the period: at least `every` cycles apart
-	// (the sampler fires at the first event step at or after a boundary).
+	// Periodic samples ride the period grid: each fires at the first
+	// event step at or after the boundary following the previous sample,
+	// so consecutive samples land in strictly increasing period windows.
+	// (The old re-anchored sampler — next at fired-step + every — drifted
+	// the grid after every idle skip; see the boundary-snap test below.)
 	for i := 1; i < len(samples)-1; i++ {
-		if d := samples[i].Cycle - samples[i-1].Cycle; d < every {
-			t.Errorf("samples %d..%d only %d cycles apart, want >= %d", i-1, i, d, every)
+		bound := (samples[i-1].Cycle/every + 1) * every
+		if samples[i].Cycle < bound {
+			t.Errorf("sample %d at cycle %d fired before boundary %d (prev at %d)",
+				i, samples[i].Cycle, bound, samples[i-1].Cycle)
 		}
 	}
 
@@ -89,6 +94,32 @@ func TestProgressHugePeriodOnlyFinal(t *testing.T) {
 	if len(samples) != 1 || !samples[0].Final {
 		t.Fatalf("got %d samples (final=%v), want exactly one Final sample",
 			len(samples), len(samples) > 0 && samples[len(samples)-1].Final)
+	}
+}
+
+// TestProgressBoundarySnap pins the sampler's grid arithmetic directly:
+// after a sample fires at an event step past its boundary (a long idle
+// skip), the next boundary is the following multiple of the period — not
+// fired-step + period, which drifted the whole grid by the overshoot.
+func TestProgressBoundarySnap(t *testing.T) {
+	p := newProgressState(func(trace.ProgressSample) {}, 1000)
+	if p.nextAt != 1000 {
+		t.Fatalf("initial boundary %d, want 1000 (no sample at cycle 0)", p.nextAt)
+	}
+	g := New(Default().Scale(1), Baseline())
+	for _, tc := range []struct {
+		firedAt, want int64
+	}{
+		{1000, 2000},  // on-grid fire
+		{2194, 3000},  // overshoot snaps to the next multiple, not 3194
+		{9999, 10000}, // just short of a boundary
+		{10000, 11000},
+		{123456, 124000}, // long idle skip over many boundaries
+	} {
+		g.sampleProgress(p, tc.firedAt, false)
+		if p.nextAt != tc.want {
+			t.Errorf("after sample at %d: nextAt %d, want %d", tc.firedAt, p.nextAt, tc.want)
+		}
 	}
 }
 

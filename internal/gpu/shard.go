@@ -1,0 +1,219 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"finereg/internal/par"
+)
+
+// This file is the parallel half of the event core: a bounded pool of
+// shard goroutines that Ticks due SMs concurrently inside one global
+// event step, byte-identical to the serial loop at every shard count.
+//
+// Shard s statically owns the SMs with index ≡ s (mod shards) and visits
+// them in ascending index order, publishing its progress through the
+// gate's per-shard frontier. An SM's Tick runs concurrently with its
+// peers' right up to its first shared-state access (L2/DRAM/dispatcher),
+// where it blocks until every lower-indexed SM has finished — so the
+// shared-state commit order is exactly the serial loop's, while the
+// per-SM bulk of each Tick (scheduler scans, scoreboards, event heaps,
+// L1 probes) overlaps freely. See internal/par for the protocol and the
+// deadlock-freedom argument, DESIGN.md §15 for the full design.
+//
+// Everything at the step barrier — the auditor, progress sampling,
+// termination, time advance — stays on the run goroutine, which also
+// works shard 0 itself instead of idling at the barrier.
+
+// minDueForParallel is the fewest due SMs worth a parallel round: below
+// it the round's arm/publish/join synchronization costs more than the
+// overlap wins, so Run Ticks those steps inline with the gate disarmed.
+const minDueForParallel = 2
+
+// effectiveShards resolves Config.Shards against the machine: at most
+// one shard per SM, and serial whenever a trace sink is attached (sinks
+// are written mid-Tick and are not safe for concurrent emission).
+func (g *GPU) effectiveShards() int {
+	s := g.Cfg.Shards
+	if s > len(g.SMs) {
+		s = len(g.SMs)
+	}
+	if s <= 1 || g.sink != nil {
+		return 1
+	}
+	return s
+}
+
+// shardSlot is one shard's per-round result, padded so slots on adjacent
+// cache lines do not false-share.
+type shardSlot struct {
+	next     int64 // min wake time across the shard's SMs
+	resident int64 // how many of the shard's SMs hold residents
+	panicVal any
+	stack    []byte
+	_        [64]byte
+}
+
+// shardPool runs parallel event steps for one GPU. Workers idle on an
+// epoch counter between rounds (spin → Gosched → microsleep backoff, see
+// par.SpinUntil) so a round starts without scheduler latency when steps
+// come hot, and close() retires them via an epoch sentinel.
+type shardPool struct {
+	g      *GPU
+	shards int
+	wake   []int64
+	hasRes []bool
+	slots  []shardSlot
+
+	stepNow int64        // the round's cycle; published by the epoch store
+	epoch   atomic.Int64 // round counter; -1 = shut down
+	pending atomic.Int32 // workers yet to finish the current round
+	wg      sync.WaitGroup
+}
+
+func newShardPool(g *GPU, shards int, wake []int64, hasRes []bool) *shardPool {
+	p := &shardPool{
+		g:      g,
+		shards: shards,
+		wake:   wake,
+		hasRes: hasRes,
+		slots:  make([]shardSlot, shards),
+	}
+	g.gate.Size(shards)
+	// Shard 0 is worked by the run goroutine inside step.
+	for s := 1; s < shards; s++ {
+		p.wg.Add(1)
+		go p.worker(s)
+	}
+	return p
+}
+
+// step executes one parallel event step at cycle now and returns the
+// merged min wake time and resident-SM count. A panic on any shard
+// surfaces as an error (the step's partial effects are abandoned — the
+// run is over).
+func (p *shardPool) step(now int64) (next int64, residentSMs int, err error) {
+	p.stepNow = now
+	p.g.gate.Arm()
+	p.pending.Store(int32(p.shards - 1))
+	p.epoch.Add(1)
+	p.runShard(0)
+	par.SpinUntil(func() bool { return p.pending.Load() == 0 })
+	p.g.gate.Disarm()
+
+	next = farFuture
+	for s := range p.slots {
+		sl := &p.slots[s]
+		if sl.panicVal != nil {
+			return 0, 0, fmt.Errorf("gpu: shard %d/%d panicked at cycle %d: %v\n%s",
+				s, p.shards, now, sl.panicVal, sl.stack)
+		}
+		if sl.next < next {
+			next = sl.next
+		}
+		residentSMs += int(sl.resident)
+	}
+	return next, residentSMs, nil
+}
+
+// worker is the loop of shards 1..S-1: wait for the next epoch, run the
+// shard, report completion.
+func (p *shardPool) worker(shard int) {
+	defer p.wg.Done()
+	seen := int64(0)
+	for {
+		par.SpinUntil(func() bool { return p.epoch.Load() != seen })
+		e := p.epoch.Load()
+		if e < 0 {
+			return
+		}
+		seen = e
+		p.runShard(shard)
+		p.pending.Add(-1)
+	}
+}
+
+// runShard Ticks the shard's due SMs in ascending index order, keeping
+// the gate's frontier current so higher-indexed SMs on other shards can
+// commit as soon as their predecessors are done. Skipped (not-due) SMs
+// still advance the frontier — they are provably inert this step, so
+// waiters need not wait on them. A panic is captured into the slot and
+// the frontier released, so peer shards blocked in Wait always drain.
+func (p *shardPool) runShard(shard int) {
+	defer func() {
+		if r := recover(); r != nil {
+			sl := &p.slots[shard]
+			sl.panicVal, sl.stack = r, debug.Stack()
+			p.g.gate.Finish(shard)
+		}
+	}()
+	g := p.g
+	now := p.stepNow
+	next := farFuture
+	resident := int64(0)
+	for i := shard; i < len(g.SMs); i += p.shards {
+		g.gate.Visit(shard, i)
+		if p.wake[i] <= now {
+			s := g.SMs[i]
+			n, _ := s.Tick(now)
+			p.wake[i] = n
+			p.hasRes[i] = s.HasResidents()
+		}
+		if p.wake[i] < next {
+			next = p.wake[i]
+		}
+		if p.hasRes[i] {
+			resident++
+		}
+	}
+	g.gate.Finish(shard)
+	sl := &p.slots[shard]
+	sl.next, sl.resident = next, resident
+}
+
+// close retires the workers. Called once, after the run loop exits.
+func (p *shardPool) close() {
+	p.epoch.Store(-1)
+	p.wg.Wait()
+}
+
+// stepInline Ticks every due SM on the run goroutine with the gate
+// disarmed — the serial event step. Both the serial loop and the sharded
+// loop's small steps (due < minDueForParallel) run through here.
+func (g *GPU) stepInline(now int64, wake []int64, hasRes []bool, residentSMs *int) (next int64) {
+	next = farFuture
+	for i, s := range g.SMs {
+		if wake[i] <= now {
+			n, _ := s.Tick(now)
+			wake[i] = n
+			if r := s.HasResidents(); r != hasRes[i] {
+				hasRes[i] = r
+				if r {
+					*residentSMs++
+				} else {
+					*residentSMs--
+				}
+			}
+		}
+		if wake[i] < next {
+			next = wake[i]
+		}
+	}
+	return next
+}
+
+// stepInlineProtected is stepInline under the sharded run's fault
+// contract: a policy panic becomes an error, as it would in a parallel
+// round, instead of unwinding through Run. Serial (pool-less) runs keep
+// the historical panic-through behavior — runner.executeIsolated owns
+// fault isolation there.
+func (g *GPU) stepInlineProtected(now int64, wake []int64, hasRes []bool, residentSMs *int) (next int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("gpu: event step panicked at cycle %d: %v\n%s", now, r, debug.Stack())
+		}
+	}()
+	return g.stepInline(now, wake, hasRes, residentSMs), nil
+}

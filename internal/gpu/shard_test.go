@@ -1,0 +1,140 @@
+package gpu
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"finereg/internal/kernels"
+	"finereg/internal/mem"
+	"finereg/internal/sm"
+	"finereg/internal/stats"
+	"finereg/internal/trace"
+)
+
+// runSharded executes one run of profile×grid under pf with the given
+// shard count and returns the full metrics.
+func runSharded(t *testing.T, bench string, grid, sms, shards int, pf PolicyFactory) *stats.Metrics {
+	t.Helper()
+	p, err := kernels.ProfileByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default().Scale(sms)
+	cfg.Shards = shards
+	k := kernels.MustBuild(p, grid)
+	m, err := New(cfg, pf).Run(k)
+	if err != nil {
+		t.Fatalf("%s sms=%d shards=%d: %v", bench, sms, shards, err)
+	}
+	return m
+}
+
+// TestShardedByteIdenticalMetrics is the sharded event core's core
+// guarantee: every field of the metrics — cycles, instructions, cache
+// and DRAM traffic, occupancy integrals, stall accounting — is identical
+// at every shard count, including shard counts that do not divide the SM
+// count and a shard per SM. Run under -race this doubles as the proof
+// that the canonical-order gate fully serializes shared-state access.
+func TestShardedByteIdenticalMetrics(t *testing.T) {
+	cases := []struct {
+		bench string
+		grid  int
+		sms   int
+		pf    PolicyFactory
+		name  string
+	}{
+		{"CS", 40, 8, FineRegDefault(), "finereg"},
+		{"LB", 24, 8, VTRegMutex(0.25), "regmutex"},
+		{"SG", 16, 5, RegDRAM(2), "regdram"},
+	}
+	for _, tc := range cases {
+		ref := runSharded(t, tc.bench, tc.grid, tc.sms, 1, tc.pf)
+		for _, shards := range []int{2, 3, 4, tc.sms, tc.sms + 7} {
+			got := runSharded(t, tc.bench, tc.grid, tc.sms, shards, tc.pf)
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("%s/%s sms=%d: metrics diverge at shards=%d:\nserial:  %+v\nsharded: %+v",
+					tc.bench, tc.name, tc.sms, shards, ref, got)
+			}
+		}
+	}
+}
+
+// TestShardedProgressSamplesIdentical holds the observation layer to the
+// same standard: the sample stream (cycles, deltas, cumulative counts,
+// per-run ops) of a sharded run matches the serial run's exactly.
+func TestShardedProgressSamplesIdentical(t *testing.T) {
+	run := func(shards int) []map[string]int64 {
+		var ops []map[string]int64
+		cfg := Default().Scale(4)
+		cfg.Shards = shards
+		cfg.ProgressEvery = 2000
+		cfg.Progress = func(s trace.ProgressSample) {
+			o := map[string]int64{"cycle": s.Cycle, "instr": s.Instructions, "launched": s.CTAsLaunched}
+			for k, v := range s.Ops {
+				o[k] = v
+			}
+			ops = append(ops, o)
+		}
+		p, _ := kernels.ProfileByName("CS")
+		k := kernels.MustBuild(p, 32)
+		if _, err := New(cfg, FineRegDefault()).Run(k); err != nil {
+			t.Fatal(err)
+		}
+		return ops
+	}
+	serial, sharded := run(1), run(4)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("progress streams diverge:\nserial:  %v\nsharded: %v", serial, sharded)
+	}
+}
+
+// panicPolicy wraps a working policy and panics inside the first
+// OnCTAStalled hook — mid-Tick, on whatever shard owns that SM.
+type panicPolicy struct{ sm.Policy }
+
+func (p *panicPolicy) OnCTAStalled(s *sm.SM, c *sm.CTA, now int64) {
+	panic("panicPolicy: injected shard fault")
+}
+
+// TestShardedPanicSurfacesAsError proves a policy panic in a sharded
+// run neither hangs the barrier nor kills the process, whether it lands
+// in a parallel round or an inline small step: peers drain, the pool
+// shuts down, and Run reports the fault and cycle as an error.
+func TestShardedPanicSurfacesAsError(t *testing.T) {
+	cfg := Default().Scale(4)
+	cfg.Shards = 4
+	pf := func(c sm.Config, hier *mem.Hierarchy) sm.Policy {
+		return &panicPolicy{Policy: VirtualThread()(c, hier)}
+	}
+	p, _ := kernels.ProfileByName("CS")
+	k := kernels.MustBuild(p, 32)
+	_, err := New(cfg, pf).Run(k)
+	if err == nil {
+		t.Fatal("sharded run with a panicking policy returned no error")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "injected shard fault") {
+		t.Fatalf("error does not describe the shard panic: %v", err)
+	}
+}
+
+// TestEffectiveShards pins the fallback rules: shards clamp to the SM
+// count, zero/one and trace-sink runs stay serial.
+func TestEffectiveShards(t *testing.T) {
+	cfg := Default().Scale(4)
+	for _, tc := range []struct{ shards, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {4, 4}, {16, 4},
+	} {
+		cfg.Shards = tc.shards
+		g := New(cfg, Baseline())
+		if got := g.effectiveShards(); got != tc.want {
+			t.Errorf("Shards=%d: effective %d, want %d", tc.shards, got, tc.want)
+		}
+	}
+	cfg.Shards = 4
+	g := New(cfg, Baseline())
+	g.SetTrace(trace.NewStallAggregator())
+	if got := g.effectiveShards(); got != 1 {
+		t.Errorf("trace sink attached: effective %d, want 1 (sinks are not shard-safe)", got)
+	}
+}

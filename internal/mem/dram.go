@@ -38,6 +38,10 @@ type DRAM struct {
 	// 1126 MHz ≈ 313 B/cycle).
 	BytesPerCycle float64
 
+	// ops attributes channel telemetry to the owning run's scope (nil =
+	// unobserved); set via Hierarchy.SetOps.
+	ops *telemetry.Scope
+
 	nextFree float64
 	bytes    [numTrafficClasses]int64
 
@@ -55,8 +59,8 @@ func (d *DRAM) Access(now int64, bytes int, class TrafficClass) int64 {
 	d.bytes[class] += int64(bytes)
 	d.accesses++
 	d.gross += int64(bytes)
-	telDRAMAccesses.Inc()
-	telDRAMBytes.Add(int64(bytes))
+	telDRAMAccesses.IncScoped(d.ops)
+	telDRAMBytes.AddScoped(d.ops, int64(bytes))
 	start := float64(now)
 	if d.nextFree > start {
 		start = d.nextFree

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"finereg/internal/isa"
+	"finereg/internal/par"
 	"finereg/internal/telemetry"
 )
 
@@ -26,10 +27,59 @@ func DefaultLatencies() Latencies { return Latencies{L1Hit: 28, L2Hit: 160} }
 // Hierarchy is the shared part of the memory system: one L2 and one DRAM
 // channel serving all SMs. Per-SM L1 caches are owned by the SMs and passed
 // into Access.
+//
+// Shard-boundary contract (sharded runs, internal/gpu): the L2 and DRAM
+// are mutable shared state, so under a parallel event step every access
+// to them must happen in canonical SM order. A per-SM view built with
+// ShardView enforces that on the paths the hierarchy itself owns — the
+// post-L1 portion of Access and the Transfer entry points — by waiting on
+// the owner SM's ordering gate before the first shared touch (L1 probes
+// are per-SM and stay ungated). Direct reads of h.L2 / h.DRAM from
+// policy code are legal only inside an SM's gated hook windows (see the
+// sm.Policy contract); run-level consumers (metric collection, the
+// auditor) read them between steps, when no shard is running.
 type Hierarchy struct {
 	L2   *Cache
 	DRAM *DRAM
 	Lat  Latencies
+
+	// gate/owner bind a ShardView to its SM's slot in the canonical
+	// order; nil gate (the base hierarchy, serial runs) disables ordering.
+	gate  *par.Gate
+	owner int
+	// ops is the owning run's telemetry scope (nil when the run is
+	// unobserved); shared by every view of one hierarchy.
+	ops *telemetry.Scope
+}
+
+// ShardView returns a shallow copy of h bound to owner's slot in gate's
+// canonical order. Views share the L2, DRAM, and telemetry scope with the
+// base hierarchy; only the ordering identity differs. The run loop gives
+// each SM (and its policy) a view so hierarchy traffic self-serializes
+// under parallel steps.
+func (h *Hierarchy) ShardView(gate *par.Gate, owner int) *Hierarchy {
+	v := *h
+	v.gate, v.owner = gate, owner
+	return &v
+}
+
+// SetOps attaches the run's telemetry scope. Call on the base hierarchy
+// before building ShardViews so every view shares it.
+func (h *Hierarchy) SetOps(s *telemetry.Scope) {
+	h.ops = s
+	h.DRAM.ops = s
+}
+
+// Ops returns the attached telemetry scope (nil when unobserved).
+// Policies use it to attribute their own counters to the run.
+func (h *Hierarchy) Ops() *telemetry.Scope { return h.ops }
+
+// sync blocks until this view's owner SM holds the canonical-order gate
+// (no-op for the base hierarchy and outside parallel steps).
+func (h *Hierarchy) sync() {
+	if h.gate != nil {
+		h.gate.Wait(h.owner)
+	}
 }
 
 // NewHierarchy builds the shared L2 + DRAM.
@@ -60,6 +110,12 @@ func (h *Hierarchy) Access(l1 *Cache, now int64, lines []uint64, isStore bool) A
 		if l1.Access(addr) {
 			done = now + h.Lat.L1Hit
 		} else {
+			if res.L1Misses == 0 {
+				// First shared touch of this access: enter the canonical
+				// order before the L2 sees the address. An all-L1-hit
+				// access never synchronizes.
+				h.sync()
+			}
 			res.L1Misses++
 			if h.L2.Access(addr) {
 				done = now + h.Lat.L1Hit + h.Lat.L2Hit
@@ -73,9 +129,9 @@ func (h *Hierarchy) Access(l1 *Cache, now int64, lines []uint64, isStore bool) A
 		}
 	}
 	if res.L1Misses > 0 {
-		telL2Accesses.Add(int64(res.L1Misses))
+		telL2Accesses.AddScoped(h.ops, int64(res.L1Misses))
 		if res.L2Misses > 0 {
-			telL2Misses.Add(int64(res.L2Misses))
+			telL2Misses.AddScoped(h.ops, int64(res.L2Misses))
 		}
 	}
 	return res
@@ -87,6 +143,7 @@ func (h *Hierarchy) Transfer(now int64, bytes int, class TrafficClass) int64 {
 	if bytes <= 0 {
 		return now
 	}
+	h.sync()
 	return h.DRAM.Access(now, bytes, class)
 }
 
@@ -99,6 +156,7 @@ func (h *Hierarchy) TransferOverlapped(now int64, bytes int, class TrafficClass)
 	if bytes <= 0 {
 		return now
 	}
+	h.sync()
 	return h.DRAM.Access(now, bytes, class) - h.DRAM.LatencyCycles
 }
 

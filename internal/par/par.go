@@ -1,0 +1,142 @@
+// Package par provides the synchronization primitive behind the sharded
+// run loop (internal/gpu): an ordering Gate that serializes access to
+// shared simulator state in canonical SM order while SM Ticks execute on
+// parallel shard goroutines.
+//
+// The determinism argument, in full (DESIGN.md §15 carries the prose
+// version):
+//
+// A global event step Ticks every due SM. In the serial loop the Ticks
+// run in ascending SM index order, so all accesses to shared state — the
+// L2, the DRAM channel, the grid dispatcher — form one total order:
+// program order within an SM's Tick, SM index order across SMs. The
+// sharded loop reproduces exactly that order: SM i's Tick may touch
+// shared state only after every due SM with index < i has *completed its
+// entire Tick*. Per-SM state needs no ordering (nothing outside an SM's
+// own Tick mutates it — documented and verified in internal/sm), so the
+// only constraint a parallel step must enforce is this shared-state
+// order, and enforcing it makes every metric byte-identical to the
+// serial loop at any shard count.
+//
+// Each shard owns the SMs with index ≡ shard (mod S) and visits them in
+// ascending order, publishing a per-shard frontier: the SM index it is
+// currently at (maxFrontier once done with the step). SM i's first
+// shared-state access inside its Tick calls Wait(i), which spins until
+// every shard's frontier has reached i — i.e. every SM below i is
+// finished. Deadlock is impossible: consider the lowest-indexed SM
+// blocked in Wait. It waits on a shard whose frontier is at some SM
+// k < i; SM k is not blocked (it is below the lowest blocked index), so
+// that shard always progresses. Since frontiers only advance, the wait
+// relation is acyclic and the step completes.
+//
+// Between parallel steps the gate is disarmed and Wait is a single
+// atomic load — the serial run loop and low-occupancy steps of a sharded
+// run pay one branch per shared access, nothing more.
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// maxFrontier marks a shard that has finished its step: every waiter's
+// index compares below it.
+const maxFrontier = int64(1) << 62
+
+// cacheLinePad separates the per-shard frontiers so the spin loads of one
+// shard do not false-share with the stores of another.
+type frontier struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Gate is the canonical-order commit gate for one GPU instance. It is
+// created unarmed (Wait is a no-op) and armed only while a parallel step
+// is in flight. All methods are safe for concurrent use under the
+// protocol documented on each.
+type Gate struct {
+	armed     atomic.Bool
+	frontiers []frontier
+}
+
+// NewGate returns an unarmed gate. Size must be called before the first
+// Arm.
+func NewGate() *Gate { return &Gate{} }
+
+// Size fixes the shard count. Call once, before any Arm, from the
+// goroutine that will arm the gate.
+func (g *Gate) Size(shards int) {
+	g.frontiers = make([]frontier, shards)
+}
+
+// Arm resets every frontier to "nothing visited yet" and enables
+// ordering. Call from the coordinating goroutine while no shard is
+// running (between steps).
+func (g *Gate) Arm() {
+	for i := range g.frontiers {
+		g.frontiers[i].v.Store(-1)
+	}
+	g.armed.Store(true)
+}
+
+// Disarm disables ordering after a parallel step has fully completed.
+func (g *Gate) Disarm() { g.armed.Store(false) }
+
+// Visit publishes that shard is now at SM index sm: every lower-indexed
+// SM owned by shard has completed its Tick. Call before Ticking sm (and
+// for skipped, not-due SMs, so waiters behind them unblock).
+func (g *Gate) Visit(shard, sm int) {
+	g.frontiers[shard].v.Store(int64(sm))
+}
+
+// Finish publishes that shard has completed the whole step.
+func (g *Gate) Finish(shard int) {
+	g.frontiers[shard].v.Store(maxFrontier)
+}
+
+// Wait blocks until every due SM with index < sm has completed its Tick
+// (all frontiers ≥ sm). It is a no-op when the gate is unarmed, and
+// idempotent: frontiers only advance within a step, so repeated calls
+// from the same Tick return immediately after the first.
+func (g *Gate) Wait(sm int) {
+	if !g.armed.Load() {
+		return
+	}
+	target := int64(sm)
+	for spin := 0; ; spin++ {
+		ok := true
+		for i := range g.frontiers {
+			if g.frontiers[i].v.Load() < target {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		backoff(spin)
+	}
+}
+
+// backoff escalates from hot spinning through the scheduler to short
+// sleeps, so a stalled peer (GOMAXPROCS below the shard count, a
+// preempted worker) cannot livelock the waiter.
+func backoff(spin int) {
+	switch {
+	case spin < 64:
+		// hot spin
+	case spin < 4096:
+		runtime.Gosched()
+	default:
+		time.Sleep(5 * time.Microsecond)
+	}
+}
+
+// SpinUntil spins with the same backoff schedule until cond reports
+// true. The shard pool uses it for its epoch and completion barriers.
+func SpinUntil(cond func() bool) {
+	for spin := 0; !cond(); spin++ {
+		backoff(spin)
+	}
+}

@@ -1,0 +1,99 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGateDisarmedNeverBlocks: with the gate disarmed (serial mode),
+// Wait returns immediately regardless of frontier state.
+func TestGateDisarmedNeverBlocks(t *testing.T) {
+	g := NewGate()
+	g.Size(4)
+	g.Wait(100) // would spin forever if the disarmed fast path broke
+}
+
+// TestGateCanonicalOrder drives two shards over four SMs (shard 0 owns
+// 0 and 2, shard 1 owns 1 and 3) with every SM's "shared access" gated,
+// and checks the committed order is exactly 0, 1, 2, 3 — the serial
+// total order — no matter how the goroutines interleave.
+func TestGateCanonicalOrder(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		g := NewGate()
+		g.Size(2)
+		g.Arm()
+
+		var mu sync.Mutex
+		var order []int
+		commit := func(sm int) {
+			g.Wait(sm)
+			mu.Lock()
+			order = append(order, sm)
+			mu.Unlock()
+		}
+
+		var wg sync.WaitGroup
+		for shard := 0; shard < 2; shard++ {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				for sm := shard; sm < 4; sm += 2 {
+					g.Visit(shard, sm)
+					commit(sm)
+				}
+				g.Finish(shard)
+			}(shard)
+		}
+		wg.Wait()
+		g.Disarm()
+
+		for i, sm := range order {
+			if sm != i {
+				t.Fatalf("trial %d: commit order %v, want [0 1 2 3]", trial, order)
+			}
+		}
+	}
+}
+
+// TestGateFinishReleasesWaiters: a waiter on a high SM index drains once
+// every shard has finished, even shards that never visited that index.
+func TestGateFinishReleasesWaiters(t *testing.T) {
+	g := NewGate()
+	g.Size(3)
+	g.Arm()
+
+	var released atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		g.Visit(2, 99)
+		g.Wait(99) // blocks until shards 0 and 1 pass 98
+		released.Store(true)
+		g.Finish(2)
+		close(done)
+	}()
+
+	if released.Load() {
+		t.Fatal("waiter ran before predecessor shards finished")
+	}
+	g.Finish(0)
+	g.Finish(1)
+	<-done
+	g.Disarm()
+}
+
+// TestSpinUntil sanity: returns once the condition flips, including when
+// the flip happens from another goroutine after backoff kicks in.
+func TestSpinUntil(t *testing.T) {
+	var flag atomic.Bool
+	go func() {
+		for i := 0; i < 1_000_000; i++ {
+			_ = i
+		}
+		flag.Store(true)
+	}()
+	SpinUntil(flag.Load)
+	if !flag.Load() {
+		t.Fatal("SpinUntil returned with condition false")
+	}
+}

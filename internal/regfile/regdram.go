@@ -149,8 +149,8 @@ func (r *RegDRAM) FillSlots(s *sm.SM, now int64) {
 // spillOut parks an active CTA's registers in DRAM; the outbound DMA is
 // overlapped with execution and charged as context traffic.
 func (r *RegDRAM) spillOut(s *sm.SM, c *sm.CTA, now int64) {
-	telDMAOut.Inc()
-	telDMAOutBytes.Add(int64(ctxBytes(c)))
+	telDMAOut.IncScoped(r.hier.Ops())
+	telDMAOutBytes.AddScoped(r.hier.Ops(), int64(ctxBytes(c)))
 	r.hier.TransferOverlapped(now, ctxBytes(c), mem.TrafficContext)
 	r.chargeDMA(ctxBytes(c), now)
 	if t := s.Trace(); t != nil {
@@ -234,8 +234,8 @@ func (r *RegDRAM) OnCTAReady(s *sm.SM, c *sm.CTA, now int64) {
 	if d.prefetchDone == 0 {
 		// Prefetch is never paced: a CTA already off-chip must come home
 		// as soon as it is runnable.
-		telDMAIn.Inc()
-		telDMAInBytes.Add(int64(ctxBytes(c)))
+		telDMAIn.IncScoped(r.hier.Ops())
+		telDMAInBytes.AddScoped(r.hier.Ops(), int64(ctxBytes(c)))
 		d.prefetchDone = r.hier.TransferOverlapped(now, ctxBytes(c), mem.TrafficContext)
 		if t := s.Trace(); t != nil {
 			t.RegTransfer(s.ID, c.ID, trace.XferPrefetchFromDRAM, c.RegCost, ctxBytes(c), now)

@@ -38,7 +38,16 @@ import (
 // change timing on switch-heavy LRR runs. The event-driven run loop that
 // landed alongside is timing-neutral — pinned byte-identical by
 // audit/diff's golden matrix.
-const SimFingerprint = "finereg-sim-v3"
+//
+// v4: Metrics.RegDepletionStallCycles is now the sum across SMs instead
+// of a truncating per-SM average (the division dropped up to NumSMs−1
+// cycles). Timing is untouched — only this serialized metric changes —
+// but cached results carry it, so the fingerprint moves. The sharded run
+// loop (gpu.Config.Shards) that landed alongside is excluded from the
+// key entirely: shard count changes wall-clock time, never results
+// (pinned byte-identical by audit/diff's golden matrix at shards 1/2/4),
+// so sharded and serial runs share cache entries.
+const SimFingerprint = "finereg-sim-v4"
 
 // Job is one schedulable simulation: a machine configuration, a kernel
 // profile and grid, a policy, and instrumentation flags. The zero-value

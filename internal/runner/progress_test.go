@@ -93,6 +93,66 @@ func TestEngineProgressComposesUserCallback(t *testing.T) {
 	}
 }
 
+// TestConcurrentJobsOpsAttribution pins the per-job telemetry scope: two
+// different jobs held in flight simultaneously (a rendezvous at each
+// job's first sample forces the overlap) must each report Ops deltas
+// that sum to exactly their own run's totals. Before scoping, samples
+// diffed the process-global registry, so each job's deltas absorbed the
+// other's activity — under -race this also proves the scope plumbing is
+// sound across engine workers.
+func TestConcurrentJobsOpsAttribution(t *testing.T) {
+	rec := &progressRecorder{}
+	e := &Engine{Jobs: 2, Events: rec, ProgressEvery: 64}
+	jobs := []*Job{tinyJob(t, "CS", FineRegDefault()), tinyJob(t, "LB", FineRegDefault())}
+
+	// Rendezvous: neither job may proceed past its first sample until
+	// both have sampled once, guaranteeing the runs overlap in time.
+	var barrier sync.WaitGroup
+	barrier.Add(len(jobs))
+	for _, j := range jobs {
+		var once sync.Once
+		j.Cfg.ProgressEvery = 64
+		j.Cfg.Progress = func(trace.ProgressSample) {
+			once.Do(func() {
+				barrier.Done()
+				barrier.Wait()
+			})
+		}
+	}
+
+	res := e.Run(jobs)
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sum each job's sampled deltas and check them against its own
+	// metrics — exact equality, no tolerance: attribution is either
+	// per-run or it is broken.
+	sums := make([]map[string]int64, len(jobs))
+	for i := range sums {
+		sums[i] = map[string]int64{}
+	}
+	rec.mu.Lock()
+	for i, s := range rec.samples {
+		for k, v := range s.Ops {
+			sums[rec.ids[i]][k] += v
+		}
+	}
+	rec.mu.Unlock()
+	for i, r := range res.Results {
+		m := r.Metrics
+		if got := sums[i]["gpu_instructions"]; got != m.Instructions {
+			t.Errorf("job %d: sampled gpu_instructions sum to %d, metrics report %d — ops bled across jobs", i, got, m.Instructions)
+		}
+		if got := sums[i]["sm_cta_launches"]; got != m.CTAsLaunched {
+			t.Errorf("job %d: sampled sm_cta_launches sum to %d, metrics report %d — ops bled across jobs", i, got, m.CTAsLaunched)
+		}
+		if got := sums[i]["gpu_cycles"]; got != m.Cycles {
+			t.Errorf("job %d: sampled gpu_cycles sum to %d, metrics report %d — ops bled across jobs", i, got, m.Cycles)
+		}
+	}
+}
+
 func TestEngineNoEventsNoSampling(t *testing.T) {
 	// ProgressEvery on the engine without an Events sink must not graft a
 	// sampling callback onto the job.

@@ -6,6 +6,8 @@ import (
 	"finereg/internal/isa"
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
+	"finereg/internal/par"
+	"finereg/internal/telemetry"
 	"finereg/internal/trace"
 )
 
@@ -16,6 +18,20 @@ import (
 //
 // The SM invokes the hooks; policies drive residency through the SM
 // primitives LaunchNew, Deactivate and Reactivate.
+//
+// Sharing contract (load-bearing for the sharded run loop, DESIGN.md
+// §15): an SM mutates no state outside itself except through the shared
+// memory hierarchy (s.Hier), the grid dispatcher (s.Disp), and atomic
+// telemetry counters — and every such touch happens either inside a
+// lifecycle hook window (FillSlots, OnCTAStalled, OnCTAReady,
+// OnCTAFinished — the SM enters the canonical-order gate before invoking
+// them) or on a path that gates itself (LaunchNew/LaunchParked before the
+// dispatcher, mem.Hierarchy views on their post-L1 paths). AllowIssue is
+// the one hook on the per-cycle issue hot path and is therefore held to a
+// stricter rule: it must read and write only per-SM state (its own policy
+// instance, the warp, the SM) — never the hierarchy, the dispatcher, or
+// anything shared. All six in-tree policies satisfy this (RegMutex, the
+// only non-trivial AllowIssue, touches only its per-SM SRP accounts).
 type Policy interface {
 	// Name identifies the configuration in results.
 	Name() string
@@ -135,6 +151,12 @@ type SM struct {
 	// sink receives cycle-level trace events; nil (the default) disables
 	// tracing at the cost of one untaken branch per emission site.
 	sink trace.Sink
+
+	// gate is the sharded run loop's canonical-order gate (nil for serial
+	// runs): syncShared waits on it before any touch of shared state, so
+	// parallel Ticks commit their hierarchy/dispatcher traffic in SM index
+	// order. See internal/par and DESIGN.md §15.
+	gate *par.Gate
 }
 
 // SetTrace attaches an event sink (nil disables tracing). Attach before
@@ -144,6 +166,23 @@ func (s *SM) SetTrace(t trace.Sink) { s.sink = t }
 // Trace returns the attached sink (nil when tracing is off); policies use
 // it to emit register-transfer events.
 func (s *SM) Trace() trace.Sink { return s.sink }
+
+// SetGate binds the SM to the sharded run loop's ordering gate (nil
+// disables, the serial default). Set before Run, never during.
+func (s *SM) SetGate(g *par.Gate) { s.gate = g }
+
+// syncShared enters the canonical shared-state order: it returns only
+// once every lower-indexed SM of the current parallel step has completed
+// its Tick. Serial runs (nil gate) and steps outside a parallel round pay
+// one branch/atomic load. Idempotent within a Tick.
+func (s *SM) syncShared() {
+	if s.gate != nil {
+		s.gate.Wait(s.ID)
+	}
+}
+
+// ops returns the run's telemetry scope (nil when unobserved).
+func (s *SM) ops() *telemetry.Scope { return s.Hier.Ops() }
 
 // New builds an SM bound to the shared memory hierarchy and dispatcher.
 func New(id int, cfg Config, hier *mem.Hierarchy, disp Dispatcher, pol Policy) *SM {
@@ -351,6 +390,7 @@ func (s *SM) LaunchNew(now, delay int64) *CTA {
 	if !s.CanActivateOne(true) {
 		return nil
 	}
+	s.syncShared() // the dispatcher is shared: take CTA IDs in canonical order
 	id := s.Disp.NextCTAID()
 	if id < 0 {
 		return nil
@@ -376,7 +416,7 @@ func (s *SM) LaunchNew(now, delay int64) *CTA {
 	}
 	s.enterActive(c, now, delay)
 	s.Cnt.CTAsLaunched++
-	telCTALaunches.Inc()
+	telCTALaunches.IncScoped(s.ops())
 	return c
 }
 
@@ -387,6 +427,7 @@ func (s *SM) LaunchParked(now int64, st CTAState) *CTA {
 	if !s.CanParkResident() {
 		return nil
 	}
+	s.syncShared() // the dispatcher is shared: take CTA IDs in canonical order
 	id := s.Disp.NextCTAID()
 	if id < 0 {
 		return nil
@@ -409,7 +450,7 @@ func (s *SM) LaunchParked(now int64, st CTAState) *CTA {
 	s.statSample(now)
 	s.pendingCTAs++
 	s.Cnt.CTAsLaunched++
-	telCTALaunches.Inc()
+	telCTALaunches.IncScoped(s.ops())
 	if s.sink != nil {
 		s.sink.CTAEvent(s.ID, trace.CTALaunchParked, c.ID, now, 0)
 	}
@@ -517,7 +558,7 @@ func (s *SM) Reactivate(c *CTA, now, delay int64) {
 	}
 	s.enterActive(c, now, delay)
 	s.Cnt.CTASwitches++
-	telCTASwitches.Inc()
+	telCTASwitches.IncScoped(s.ops())
 }
 
 // warpUID derives a grid-globally unique warp identity from the CTA's
@@ -599,8 +640,11 @@ func (s *SM) dropWarpsOf(c *CTA) {
 
 // finishCTA releases a completed CTA's residency and notifies the policy.
 func (s *SM) finishCTA(c *CTA, now int64) {
+	// The policy hooks below (OnCTAFinished, FillSlots) and the shared
+	// telemetry may touch shared state: enter the canonical order first.
+	s.syncShared()
 	c.State = CTAFinished
-	telCTARetired.Inc()
+	telCTARetired.IncScoped(s.ops())
 	if s.sink != nil {
 		s.sink.CTAEvent(s.ID, trace.CTAFinish, c.ID, now, 0)
 	}
@@ -719,6 +763,7 @@ func (s *SM) Tick(now int64) (next int64, issued int) {
 			if s.sink != nil {
 				s.sink.CTAEvent(s.ID, trace.CTAReady, c.ID, now, 0)
 			}
+			s.syncShared() // hook window: the policy may touch Hier/Disp
 			s.Pol.OnCTAReady(s, c, now)
 		}
 	}
@@ -878,7 +923,7 @@ func (s *SM) block(w *Warp, until, now int64, reason trace.StallReason) {
 		c.stalledWarps++
 		if c.FullyStalled() {
 			s.Cnt.CTAStallEvents++
-			telCTAFullStall.Inc()
+			telCTAFullStall.IncScoped(s.ops())
 			if s.sink != nil {
 				s.sink.CTAEvent(s.ID, trace.CTAFullStall, c.ID, now, 0)
 			}
@@ -891,6 +936,7 @@ func (s *SM) block(w *Warp, until, now int64, reason trace.StallReason) {
 			// absent for a while; evicting a CTA whose first warp wakes
 			// shortly just convoys it behind the switch machinery.
 			if c.EarliestWake()-now >= s.Cfg.LongStall {
+				s.syncShared() // hook window: the policy may touch Hier/Disp
 				s.Pol.OnCTAStalled(s, c, now)
 			}
 		}
@@ -1051,8 +1097,9 @@ func (s *SM) exitWarp(w *Warp, now int64) {
 	if c.FullyStalled() {
 		// The exit may have completed a full-stall condition.
 		s.Cnt.CTAStallEvents++
-		telCTAFullStall.Inc()
+		telCTAFullStall.IncScoped(s.ops())
 		if c.EarliestWake()-now >= s.Cfg.LongStall {
+			s.syncShared() // hook window: the policy may touch Hier/Disp
 			s.Pol.OnCTAStalled(s, c, now)
 		}
 	}

@@ -32,7 +32,8 @@ type Metrics struct {
 
 	// Stall cycles attributable to register resources being depleted while
 	// schedulable CTAs existed (Figure 14b: PCRF for FineReg, SRP for
-	// RegMutex).
+	// RegMutex), summed across all SMs. Divide by Cycles×NumSMs for the
+	// per-SM stall fraction the paper plots.
 	RegDepletionStallCycles int64
 
 	// Average cycles from a CTA's first issue to its first complete stall

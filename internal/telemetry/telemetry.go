@@ -11,9 +11,12 @@
 // attribute exactly to that run; with several running concurrently (the
 // run engine's worker pool, the serving fleet) a delta mixes their
 // activity and reads as fleet-wide throughput — which is precisely what a
-// /metrics scrape wants. Per-run exact attribution lives in stats.Metrics;
-// telemetry is the live, cross-run view, and the two are deliberately
-// disjoint so telemetry can never perturb a result.
+// /metrics scrape wants. Per-run exact attribution lives in stats.Metrics
+// for final results and, since the concurrent-attribution fix, in a
+// per-run Scope for in-flight progress samples: an instrumented site that
+// holds a Scope bumps both the global counter and the run-local cell with
+// AddScoped/IncScoped, so a ProgressSample.Ops delta is exact for its own
+// run no matter how many simulations share the process.
 package telemetry
 
 import (
@@ -26,6 +29,7 @@ import (
 // registry lock is only taken at registration and snapshot time.
 type Counter struct {
 	name string
+	id   int // registration index, stable for the process lifetime
 	v    atomic.Int64
 }
 
@@ -41,10 +45,25 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// IncScoped adds one to the global counter and attributes it to sc
+// (nil-safe: with no scope it is exactly Inc).
+func (c *Counter) IncScoped(sc *Scope) {
+	c.v.Add(1)
+	sc.Add(c, 1)
+}
+
+// AddScoped adds n to the global counter and attributes it to sc
+// (nil-safe: with no scope it is exactly Add).
+func (c *Counter) AddScoped(sc *Scope, n int64) {
+	c.v.Add(n)
+	sc.Add(c, n)
+}
+
 var global struct {
 	mu     sync.RWMutex
 	byName map[string]*Counter
 	all    []*Counter // sorted by name
+	byID   []*Counter // registration order; Counter.id indexes this
 }
 
 // NewCounter registers a counter under name and returns it. Registration
@@ -62,8 +81,9 @@ func NewCounter(name string) *Counter {
 	if c, ok := global.byName[name]; ok {
 		return c
 	}
-	c := &Counter{name: name}
+	c := &Counter{name: name, id: len(global.byID)}
 	global.byName[name] = c
+	global.byID = append(global.byID, c)
 	i := sort.Search(len(global.all), func(i int) bool { return global.all[i].name >= name })
 	global.all = append(global.all, nil)
 	copy(global.all[i+1:], global.all[i:])
@@ -107,6 +127,57 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		}
 	}
 	return d
+}
+
+// Scope is one run's private view of the registry: a dense array of
+// atomic cells indexed by counter registration id. Instrumented sites
+// that hold a scope dual-write through AddScoped/IncScoped, so the scope
+// accumulates exactly the ops performed on behalf of its run while the
+// global counters keep the fleet-wide /metrics series. Cells are atomic
+// because a sharded run (internal/gpu) bumps them from several shard
+// goroutines at once.
+//
+// A nil *Scope is valid everywhere and attributes nothing — unobserved
+// runs pay only the nil check.
+type Scope struct {
+	v []atomic.Int64
+}
+
+// NewScope returns a scope covering every counter registered so far.
+// Counters registered later (impossible for the simulator's init-time
+// registrations) are silently not attributed.
+func NewScope() *Scope {
+	global.mu.RLock()
+	n := len(global.byID)
+	global.mu.RUnlock()
+	return &Scope{v: make([]atomic.Int64, n)}
+}
+
+// Add attributes n of counter c to the scope. nil-safe.
+func (s *Scope) Add(c *Counter, n int64) {
+	if s == nil {
+		return
+	}
+	if c.id < len(s.v) {
+		s.v[c.id].Add(n)
+	}
+}
+
+// Capture reads the scope as a sparse Snapshot (zero cells omitted),
+// directly diffable with Snapshot.Delta. A nil scope captures empty.
+func (s *Scope) Capture() Snapshot {
+	out := Snapshot{}
+	if s == nil {
+		return out
+	}
+	global.mu.RLock()
+	defer global.mu.RUnlock()
+	for id := range s.v {
+		if v := s.v[id].Load(); v != 0 {
+			out[global.byID[id].name] = v
+		}
+	}
+	return out
 }
 
 // SnapshotAndReset atomically swaps every counter to zero and returns the

@@ -62,9 +62,10 @@ type ProgressSample struct {
 	Final bool `json:"final,omitempty"`
 	// Ops is the sparse telemetry delta since the previous sample
 	// (internal/telemetry counter increases: PCRF spills, DMA transfers,
-	// DRAM ops, ...). The registry is process-global, so under concurrent
-	// jobs the delta mixes fleet-wide activity; with one job running it
-	// attributes exactly.
+	// DRAM ops, ...). Counts come from the run's private telemetry.Scope,
+	// not the process-global registry, so they attribute exactly to this
+	// job even with any number of concurrent jobs in flight — a job's
+	// deltas sum to precisely its own totals.
 	Ops map[string]int64 `json:"ops,omitempty"`
 }
 

@@ -12,10 +12,12 @@
 # A second pass records the single-thread cycle-loop throughput per policy
 # (quick 4-SM and paper 16-SM scale) in BENCH_hotpath.json — the number
 # the event-driven simulation core is measured by. The hotpath report also
-# carries the `progress` block: the quick-4sm finereg cell timed with
-# in-run progress sampling off and on (no-op callback, default period), so
-# the observability tax is re-measured on every sweep; on_over_off should
-# stay within run-to-run noise of 1.0.
+# carries the sharded-core sweep (the paper-16sm finereg cell at shards
+# 1/2/4/8; `shard_speedup` is the best count's gain over serial, only
+# meaningful on multi-core hosts) and the `progress` block: the quick-4sm
+# finereg cell timed with in-run progress sampling off and on (no-op
+# callback, default period), so the observability tax is re-measured on
+# every sweep; on_over_off should stay within run-to-run noise of 1.0.
 set -eu
 cd "$(dirname "$0")/.."
 

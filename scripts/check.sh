@@ -34,9 +34,18 @@ go test -race -count=1 -timeout 10m ./internal/serve/...
 # re-runs every time instead of being answered from the test cache.
 go test -race -count=1 -timeout 10m ./internal/fleet/...
 # Telemetry gate: the in-run progress path under the race detector — the
-# sampler in gpu.Run, the global op-count registry, the engine's sink
-# forwarding, and the SSE progress stream — plus the golden-matrix proof
-# that sampling leaves every cell byte-identical (not -short, so it is
-# skipped by the blanket race pass above and must run here).
-go test -race -count=1 -timeout 10m -run 'Progress|Telemetry' \
+# sampler in gpu.Run, the per-run op scopes (concurrent jobs must not
+# bleed into each other's samples), the engine's sink forwarding, and the
+# SSE progress stream — plus the golden-matrix proof that sampling leaves
+# every cell byte-identical (not -short, so it is skipped by the blanket
+# race pass above and must run here).
+go test -race -count=1 -timeout 10m -run 'Progress|Telemetry|Attribution' \
 	./internal/gpu/ ./internal/telemetry/ ./internal/runner/ ./internal/serve/ ./internal/audit/diff/
+# Sharded-core gate: the golden matrix byte-identity proof at shards
+# 1 (TestGoldenCycleExactness), 2, and 4 (TestGoldenShardedExecution)
+# under the race detector, plus the gpu-level sharded identity, panic
+# containment, and fallback tests. This is the determinism acceptance
+# check for the parallel event core.
+go test -race -count=1 -timeout 10m \
+	-run 'TestGoldenCycleExactness|TestGoldenShardedExecution' ./internal/audit/diff/
+go test -race -count=1 -timeout 10m -run 'TestSharded|TestEffectiveShards' ./internal/gpu/
