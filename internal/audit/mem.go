@@ -25,6 +25,13 @@ import (
 //	                    (each L2 miss moves exactly one line)
 //	mem:dramLedger      Σ per-class ledger == independently counted
 //	                    gross bytes
+//	mem:specPending     no speculative L2 read is still buffered at a
+//	                    step barrier (every Tick drains its buffer at
+//	                    its canonical commit point)
+//	mem:specLedger      Σ speculative reads == Σ validated + Σ replayed
+//	                    commits — every speculation is accounted exactly
+//	                    once (with specPending, checked at barriers where
+//	                    nothing is in flight)
 //
 // Per-SM L1 conservation/residency lives in CheckSM.
 
@@ -64,6 +71,22 @@ func CheckHierarchy(sms []*sm.SM, h *mem.Hierarchy, now int64) error {
 			return fail("mem:dramLedger", d.TotalBytes(), d.GrossBytes(),
 				"per-class ledger sum vs gross transfer count")
 		}
+	}
+	var reads, validated, replayed, pending int64
+	for _, s := range sms {
+		r, v, rp, p := s.Hier.SpecLedger()
+		reads += r
+		validated += v
+		replayed += rp
+		pending += p
+	}
+	if pending != 0 {
+		return fail("mem:specPending", pending, 0,
+			"speculative L2 reads still buffered at a step barrier")
+	}
+	if reads != validated+replayed {
+		return fail("mem:specLedger", reads, validated+replayed,
+			fmt.Sprintf("speculative reads vs %d validated + %d replayed commits", validated, replayed))
 	}
 	return nil
 }

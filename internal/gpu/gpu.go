@@ -83,10 +83,14 @@ type Config struct {
 	// goroutines with shared-state access serialized in canonical SM
 	// order (internal/par, DESIGN.md §15), so results are byte-identical
 	// at every shard count — pinned by audit/diff's golden matrix.
-	// 0 or 1 selects the serial loop; runs with a trace sink attached
-	// always run serial (sinks are not shard-safe). Excluded from the
-	// runner job key (json:"-"): shards change wall-clock time, never
-	// results, so sharded and serial runs share cache entries.
+	// 0 or 1 selects the serial loop. Sharded untraced runs additionally
+	// speculate L2 reads past the ordering gate (validated or replayed at
+	// their canonical commit point — equally byte-identical); traced runs
+	// shard too, with per-SM event buffers drained in canonical order at
+	// each step barrier, but run with speculation off so emitted events
+	// carry final values. Excluded from the runner job key (json:"-"):
+	// shards change wall-clock time, never results, so sharded and serial
+	// runs share cache entries.
 	Shards int `json:"-"`
 }
 
@@ -192,7 +196,6 @@ func New(cfg Config, pf PolicyFactory) *GPU {
 	for i := 0; i < cfg.NumSMs; i++ {
 		hv := hier.ShardView(g.gate, i)
 		s := sm.New(i, cfg.SM, hv, g.disp, pf(cfg.SM, hv))
-		s.SetGate(g.gate)
 		g.SMs = append(g.SMs, s)
 	}
 	return g
@@ -348,6 +351,34 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 		defer pool.close()
 	}
 
+	// Speculative L2 reads are on exactly when parallel rounds can happen
+	// and no sink observes mid-Tick state (a sink would see provisional
+	// ready times before a replayed commit corrects them). The per-run
+	// reset also clears each view's speculation ledger.
+	specOn := pool != nil && g.sink == nil
+	for _, s := range g.SMs {
+		s.Hier.SetSpeculation(specOn)
+	}
+
+	// Traced sharded runs swap every SM's sink for a private buffer and
+	// drain the buffers in ascending SM index order at each step barrier:
+	// the serial loop Ticks SMs in exactly that order, so the user's sink
+	// receives byte-for-byte the serial event stream with zero concurrent
+	// emission. Run-level events (RunStart/RunEnd) stay on this goroutine.
+	var tbufs []*trace.ShardBuffer
+	if pool != nil && g.sink != nil {
+		tbufs = make([]*trace.ShardBuffer, len(g.SMs))
+		for i, s := range g.SMs {
+			tbufs[i] = trace.NewShardBuffer()
+			s.SetTrace(tbufs[i])
+		}
+		defer func() {
+			for _, s := range g.SMs {
+				s.SetTrace(g.sink)
+			}
+		}()
+	}
+
 	for {
 		if g.stop.Load() {
 			return nil, fmt.Errorf("%w at cycle %d", ErrInterrupted, now)
@@ -383,6 +414,11 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 				}
 			} else {
 				next = g.stepInline(now, wake, hasRes, &residentSMs)
+			}
+		}
+		if tbufs != nil {
+			for _, b := range tbufs {
+				b.FlushTo(g.sink)
 			}
 		}
 		if auditor != nil {
@@ -502,6 +538,22 @@ func (g *GPU) collect(k *kernels.Kernel, cycles int64) *stats.Metrics {
 	m.DRAMContextBytes = g.Hier.DRAM.Bytes(mem.TrafficContext)
 	m.DRAMBitvecBytes = g.Hier.DRAM.Bytes(mem.TrafficBitvec)
 	return m
+}
+
+// SpecStats sums the per-SM speculation ledgers of the last run:
+// speculative L2 reads issued, commits that validated, and commits that
+// replayed through the synchronized path. Deliberately not part of
+// stats.Metrics — speculation counts describe host-side execution
+// strategy, and Metrics must stay byte-identical between serial and
+// sharded runs.
+func (g *GPU) SpecStats() (reads, validated, replayed int64) {
+	for _, s := range g.SMs {
+		r, v, rp, _ := s.Hier.SpecLedger()
+		reads += r
+		validated += v
+		replayed += rp
+	}
+	return reads, validated, replayed
 }
 
 // RegWindowFracs concatenates the Figure 5 instrumentation windows of all

@@ -7,7 +7,14 @@ import (
 	"sync/atomic"
 
 	"finereg/internal/par"
+	"finereg/internal/telemetry"
 )
+
+// telParRounds counts parallel event steps. Global-only (never scoped),
+// like every par_* counter: rounds × NumSMs reconstructs the PR 8
+// per-visit publication baseline, so finereg-bench can report the
+// gate-sync reduction without re-running old code.
+var telParRounds = telemetry.NewCounter("par_rounds")
 
 // This file is the parallel half of the event core: a bounded pool of
 // shard goroutines that Ticks due SMs concurrently inside one global
@@ -33,14 +40,15 @@ import (
 const minDueForParallel = 2
 
 // effectiveShards resolves Config.Shards against the machine: at most
-// one shard per SM, and serial whenever a trace sink is attached (sinks
-// are written mid-Tick and are not safe for concurrent emission).
+// one shard per SM. Traced runs shard too — Run swaps each SM's sink for
+// a per-SM buffer that the step barrier drains in canonical SM order, so
+// concurrent emission never reaches the user's sink (see installTraceBuffers).
 func (g *GPU) effectiveShards() int {
 	s := g.Cfg.Shards
 	if s > len(g.SMs) {
 		s = len(g.SMs)
 	}
-	if s <= 1 || g.sink != nil {
+	if s <= 1 {
 		return 1
 	}
 	return s
@@ -95,6 +103,7 @@ func newShardPool(g *GPU, shards int, wake []int64, hasRes []bool) *shardPool {
 // surfaces as an error (the step's partial effects are abandoned — the
 // run is over).
 func (p *shardPool) step(now int64) (next int64, residentSMs int, err error) {
+	telParRounds.Inc()
 	p.stepNow = now
 	p.g.gate.Arm()
 	p.pending.Store(int32(p.shards - 1))
@@ -158,6 +167,10 @@ func (p *shardPool) runShard(shard int) {
 		if p.wake[i] <= now {
 			s := g.SMs[i]
 			n, _ := s.Tick(now)
+			// End of the SM's Tick is its last canonical commit point:
+			// drain any speculative L2 reads the Tick buffered before the
+			// frontier moves past it (no-op when nothing is buffered).
+			s.Hier.CommitSpeculation()
 			p.wake[i] = n
 			p.hasRes[i] = s.HasResidents()
 		}

@@ -1,10 +1,12 @@
 package gpu
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 
+	"finereg/internal/isa"
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
 	"finereg/internal/sm"
@@ -119,7 +121,9 @@ func TestShardedPanicSurfacesAsError(t *testing.T) {
 }
 
 // TestEffectiveShards pins the fallback rules: shards clamp to the SM
-// count, zero/one and trace-sink runs stay serial.
+// count and zero/one stays serial. A trace sink no longer forces serial
+// — traced runs shard through per-SM event buffers (the PR 8 carve-out
+// is closed; TestShardedTraceIdentity pins the stream equivalence).
 func TestEffectiveShards(t *testing.T) {
 	cfg := Default().Scale(4)
 	for _, tc := range []struct{ shards, want int }{
@@ -134,7 +138,145 @@ func TestEffectiveShards(t *testing.T) {
 	cfg.Shards = 4
 	g := New(cfg, Baseline())
 	g.SetTrace(trace.NewStallAggregator())
-	if got := g.effectiveShards(); got != 1 {
-		t.Errorf("trace sink attached: effective %d, want 1 (sinks are not shard-safe)", got)
+	if got := g.effectiveShards(); got != 4 {
+		t.Errorf("trace sink attached: effective %d, want 4 (traced runs shard via per-SM buffers)", got)
+	}
+}
+
+// recSink records every event as a formatted line, so two runs' event
+// streams can be compared byte-for-byte.
+type recSink struct{ events []string }
+
+func (r *recSink) add(f string, args ...any) { r.events = append(r.events, fmt.Sprintf(f, args...)) }
+
+func (r *recSink) RunStart(kernel string, numSMs int) { r.add("start %s %d", kernel, numSMs) }
+func (r *recSink) RunEnd(now int64)                   { r.add("end %d", now) }
+func (r *recSink) CTAEvent(sm int, kind trace.CTAKind, cta int, now, arg int64) {
+	r.add("cta %d %d %d %d %d", sm, kind, cta, now, arg)
+}
+func (r *recSink) WarpSpawn(sm, cta, warp int, now, wakeAt int64, reason trace.StallReason) {
+	r.add("spawn %d %d %d %d %d %d", sm, cta, warp, now, wakeAt, reason)
+}
+func (r *recSink) WarpDrop(sm, cta, warp int, now int64) {
+	r.add("drop %d %d %d %d", sm, cta, warp, now)
+}
+func (r *recSink) WarpBlock(sm, cta, warp int, now, until int64, reason trace.StallReason) {
+	r.add("block %d %d %d %d %d %d", sm, cta, warp, now, until, reason)
+}
+func (r *recSink) WarpWake(sm, cta, warp int, now int64) {
+	r.add("wake %d %d %d %d", sm, cta, warp, now)
+}
+func (r *recSink) WarpIssue(sm, cta, warp int, now int64, pc int) {
+	r.add("issue %d %d %d %d %d", sm, cta, warp, now, pc)
+}
+func (r *recSink) WarpDeny(sm, cta, warp int, now int64) {
+	r.add("deny %d %d %d %d", sm, cta, warp, now)
+}
+func (r *recSink) WarpBarrier(sm, cta, warp int, now int64) {
+	r.add("bar %d %d %d %d", sm, cta, warp, now)
+}
+func (r *recSink) WarpBarrierRelease(sm, cta, warp int, now int64) {
+	r.add("barrel %d %d %d %d", sm, cta, warp, now)
+}
+func (r *recSink) WarpExit(sm, cta, warp int, now int64) {
+	r.add("exit %d %d %d %d", sm, cta, warp, now)
+}
+func (r *recSink) RegTransfer(sm, cta int, kind trace.TransferKind, regs, bytes int, now int64) {
+	r.add("xfer %d %d %d %d %d %d", sm, cta, kind, regs, bytes, now)
+}
+func (r *recSink) MemAccess(sm int, now int64, lines, l1Miss, l2Miss int, queue float64) {
+	r.add("mem %d %d %d %d %d %g", sm, now, lines, l1Miss, l2Miss, queue)
+}
+
+// TestShardedTraceIdentity closes the trace-sink carve-out: a sharded
+// traced run must deliver byte-for-byte the serial run's event stream —
+// same events, same order, same payloads (including the DRAM queue
+// sample, which reads shared state mid-Tick). Run under -race this also
+// proves the per-SM buffers keep concurrent emission away from the sink.
+func TestShardedTraceIdentity(t *testing.T) {
+	run := func(shards int) []string {
+		cfg := Default().Scale(4)
+		cfg.Shards = shards
+		g := New(cfg, FineRegDefault())
+		sink := &recSink{}
+		g.SetTrace(sink)
+		if shards > 1 && g.effectiveShards() != shards {
+			t.Fatalf("traced run fell back to %d shards, want %d", g.effectiveShards(), shards)
+		}
+		p, _ := kernels.ProfileByName("CS")
+		k := kernels.MustBuild(p, 24)
+		if _, err := g.Run(k); err != nil {
+			t.Fatal(err)
+		}
+		return sink.events
+	}
+	serial := run(1)
+	for _, shards := range []int{2, 4} {
+		sharded := run(shards)
+		if len(serial) != len(sharded) {
+			t.Fatalf("shards=%d: %d events vs %d serial", shards, len(sharded), len(serial))
+		}
+		for i := range serial {
+			if serial[i] != sharded[i] {
+				t.Fatalf("shards=%d: event %d diverges:\nserial:  %s\nsharded: %s",
+					shards, i, serial[i], sharded[i])
+			}
+		}
+	}
+}
+
+// TestShardedSpeculationReplay forces the speculation abort path: the
+// kernel is skewed toward hot loads (L1-evicted but L2-resident — prime
+// speculation candidates) with an occasional streaming load that misses
+// the L2, so many Ticks buffer speculative reads with no earlier
+// synchronization point and their end-of-Tick commit blocks on the gate
+// while a lower-ordered SM still has stream fills pending — the classic
+// conflict window. (A stream-heavy mix hides the window: the stream
+// load's synchronized slow path runs before the Tick's hot loads, so
+// every snapshot would already see all lower SMs finished.) Metrics must
+// stay byte-identical to serial on every attempt, the ledger must
+// balance, and at least one attempt must observe a replay.
+func TestShardedSpeculationReplay(t *testing.T) {
+	p := kernels.Profile{
+		Abbrev: "SPX", Name: "Speculation Conflict", Suite: "synthetic",
+		WarpsPerCTA: 4, Regs: 16, Persistent: 4,
+		LoopTrips: 16, StreamLoads: 1, HotLoads: 6, HotKB: 128,
+		ComputePerIter: 2, Pattern: isa.PatCoalesced,
+		FootprintKB: 8 << 10, GridCTAs: 64,
+	}
+	k := kernels.MustBuild(p, p.GridCTAs)
+	run := func(shards int) (*stats.Metrics, int64, int64, int64) {
+		cfg := Default().Scale(8)
+		cfg.Shards = shards
+		g := New(cfg, FineRegDefault())
+		m, err := g.Run(k)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		reads, validated, replayed := g.SpecStats()
+		return m, reads, validated, replayed
+	}
+	ref, reads, _, _ := run(1)
+	if reads != 0 {
+		t.Fatalf("serial run speculated (%d reads), speculation must require a shard pool", reads)
+	}
+	sawReplay := false
+	for attempt := 0; attempt < 5 && !sawReplay; attempt++ {
+		got, reads, validated, replayed := run(4)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("attempt %d: sharded metrics diverge from serial:\nserial:  %+v\nsharded: %+v",
+				attempt, ref, got)
+		}
+		if reads == 0 {
+			t.Fatal("conflict-heavy sharded run never speculated")
+		}
+		if reads != validated+replayed {
+			t.Fatalf("speculation ledger unbalanced: %d reads != %d validated + %d replayed",
+				reads, validated, replayed)
+		}
+		sawReplay = replayed > 0
+	}
+	if !sawReplay {
+		t.Fatal("no speculation replay in 5 conflict-heavy attempts")
 	}
 }

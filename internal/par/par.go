@@ -23,11 +23,34 @@
 // currently at (maxFrontier once done with the step). SM i's first
 // shared-state access inside its Tick calls Wait(i), which spins until
 // every shard's frontier has reached i — i.e. every SM below i is
-// finished. Deadlock is impossible: consider the lowest-indexed SM
-// blocked in Wait. It waits on a shard whose frontier is at some SM
-// k < i; SM k is not blocked (it is below the lowest blocked index), so
-// that shard always progresses. Since frontiers only advance, the wait
-// relation is acyclic and the step completes.
+// finished.
+//
+// Batched publication: publishing the frontier on every Visit costs one
+// cross-core store per SM per step, even when nobody is waiting. Visit
+// therefore only *records* the shard's position in shard-private state
+// and publishes once every batchVisits positions. The published frontier
+// is a conservative lower bound on the true position, so a waiter can
+// only over-wait, never under-wait — the set of completed lower SMs it
+// observes on wake is exactly the serial one, and byte-identity is
+// unaffected. Liveness needs one extra rule: a Wait(sm) that fails its
+// first frontier scan flushes the calling shard's own pending position
+// before spinning (the caller's shard is sm mod S — SM ownership is
+// static), because Wait(sm) requires the caller's own published frontier
+// to reach sm. With that rule, deadlock-freedom extends the PR 8
+// argument: consider the lowest-indexed SM blocked in Wait. Every shard
+// it waits on is either running — and publishes within a bounded batch
+// or at Finish — or itself blocked in Wait, in which case it flushed
+// before spinning, so its published frontier equals its true position k,
+// and k < i means SM k is blocked below the lowest blocked index:
+// contradiction. Frontiers only advance, so the wait relation stays
+// acyclic and the step completes.
+//
+// Two refinements keep the uncontended path store- and count-free: Arm
+// initializes frontier i to i (shard i owns nothing below SM i, so the
+// claim is vacuous) rather than to "nothing", and a Wait whose first
+// scan passes returns without flushing or counting — per-shard
+// memoization then short-circuits every later Wait of the same Tick
+// outright, since frontiers never retreat within a step.
 //
 // Between parallel steps the gate is disarmed and Wait is a single
 // atomic load — the serial run loop and low-occupancy steps of a sharded
@@ -38,17 +61,57 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"finereg/internal/telemetry"
+)
+
+// Telemetry (internal/telemetry): gate traffic. Global-only (never
+// scoped): the counters measure host-side synchronization cost, not
+// simulated work, so they must not perturb per-run Ops deltas (serial
+// and sharded runs of one job must report identical Ops).
+// par_gate_waits counts contended waits only — episodes whose first
+// frontier scan failed and that actually spun; an already-satisfied Wait
+// is a read-only scan (or a memoized no-op) and not a sync.
+// par_gate_publishes counts frontier stores: batch boundaries, the flush
+// inside a contended Wait, and Finish.
+var (
+	telGateWaits     = telemetry.NewCounter("par_gate_waits")
+	telGatePublishes = telemetry.NewCounter("par_gate_publishes")
 )
 
 // maxFrontier marks a shard that has finished its step: every waiter's
 // index compares below it.
 const maxFrontier = int64(1) << 62
 
+// batchVisits is the publication batch: a shard publishes its frontier
+// once per this many recorded positions (plus on Finish and on flush-
+// before-Wait). Liveness never depends on the batch boundary — a blocked
+// shard has flushed and a finished shard has published maxFrontier — so
+// the bound is sized for traffic, not correctness: on a paper-scale
+// machine (16 SMs) no shard's per-step visit run reaches it and the
+// steady-state publish rate is just flush-on-Wait plus one Finish per
+// shard, while on larger machines it still bounds how stale a busy
+// shard's frontier can get (waiters over-wait by at most a batch of
+// gate-free Ticks).
+const batchVisits = 16
+
 // cacheLinePad separates the per-shard frontiers so the spin loads of one
 // shard do not false-share with the stores of another.
 type frontier struct {
 	v atomic.Int64
 	_ [56]byte
+}
+
+// pending is a shard's private, unpublished position. Only the owning
+// shard's goroutine touches it while the gate is armed (Arm resets it
+// from the coordinator between steps, ordered by the pool's epoch
+// protocol), so the fields are plain ints. Padded like frontier so
+// neighbouring shards' bookkeeping never false-shares.
+type pending struct {
+	pos   int64 // last recorded SM index (-1: nothing recorded)
+	count int64 // positions recorded since the last publish
+	done  int64 // highest SM index whose Wait was satisfied this step
+	_     [40]byte
 }
 
 // Gate is the canonical-order commit gate for one GPU instance. It is
@@ -58,6 +121,7 @@ type frontier struct {
 type Gate struct {
 	armed     atomic.Bool
 	frontiers []frontier
+	pend      []pending
 }
 
 // NewGate returns an unarmed gate. Size must be called before the first
@@ -68,14 +132,22 @@ func NewGate() *Gate { return &Gate{} }
 // goroutine that will arm the gate.
 func (g *Gate) Size(shards int) {
 	g.frontiers = make([]frontier, shards)
+	g.pend = make([]pending, shards)
 }
 
-// Arm resets every frontier to "nothing visited yet" and enables
-// ordering. Call from the coordinating goroutine while no shard is
-// running (between steps).
+// Arm resets every frontier and enables ordering. Call from the
+// coordinating goroutine while no shard is running (between steps).
+// Frontier i starts at i, not at "nothing": shard i's lowest owned SM is
+// SM i, so "every owned SM below i has completed" is vacuously true the
+// moment the step begins — and waiters whose targets sit below a shard's
+// first owned SM (the common case at the start of a round) pass without
+// ever blocking on that shard.
 func (g *Gate) Arm() {
 	for i := range g.frontiers {
-		g.frontiers[i].v.Store(-1)
+		g.frontiers[i].v.Store(int64(i))
+		g.pend[i].pos = -1
+		g.pend[i].count = 0
+		g.pend[i].done = -1
 	}
 	g.armed.Store(true)
 }
@@ -83,40 +155,95 @@ func (g *Gate) Arm() {
 // Disarm disables ordering after a parallel step has fully completed.
 func (g *Gate) Disarm() { g.armed.Store(false) }
 
-// Visit publishes that shard is now at SM index sm: every lower-indexed
-// SM owned by shard has completed its Tick. Call before Ticking sm (and
-// for skipped, not-due SMs, so waiters behind them unblock).
+// Armed reports whether a parallel step is in flight. Speculative
+// consumers (internal/mem) use it to decide whether a deferred commit
+// will have a gate to wait on.
+func (g *Gate) Armed() bool { return g.armed.Load() }
+
+// Visit records that shard is now at SM index sm: every lower-indexed SM
+// owned by shard has completed its Tick. Call before Ticking sm (and for
+// skipped, not-due SMs, so waiters behind them unblock). The position is
+// published to other shards only once per batchVisits calls; Wait and
+// Finish flush the remainder.
 func (g *Gate) Visit(shard, sm int) {
-	g.frontiers[shard].v.Store(int64(sm))
+	p := &g.pend[shard]
+	p.pos = int64(sm)
+	p.count++
+	if p.count >= batchVisits {
+		g.publish(shard)
+	}
+}
+
+// publish stores shard's recorded position into its shared frontier and
+// resets the batch counter. Caller must be the owning shard's goroutine.
+func (g *Gate) publish(shard int) {
+	p := &g.pend[shard]
+	g.frontiers[shard].v.Store(p.pos)
+	p.count = 0
+	telGatePublishes.Inc()
 }
 
 // Finish publishes that shard has completed the whole step.
 func (g *Gate) Finish(shard int) {
+	g.pend[shard].count = 0
 	g.frontiers[shard].v.Store(maxFrontier)
+	telGatePublishes.Inc()
 }
 
 // Wait blocks until every due SM with index < sm has completed its Tick
 // (all frontiers ≥ sm). It is a no-op when the gate is unarmed, and
 // idempotent: frontiers only advance within a step, so repeated calls
-// from the same Tick return immediately after the first.
+// from the same Tick return immediately after the first. Wait must run
+// on the goroutine of the shard that owns sm (true by construction:
+// shared-state accesses happen inside sm's own Tick) — it first flushes
+// that shard's pending position so its own published frontier can reach
+// sm.
 func (g *Gate) Wait(sm int) {
 	if !g.armed.Load() {
 		return
 	}
+	// Memoized fast path: frontiers only advance within a step, so once
+	// Wait(sm) has been satisfied every later call from the same Tick (or
+	// for a lower SM of the same shard) is free — no frontier scan, no
+	// counted sync. done is shard-private like the rest of pend (Wait runs
+	// on the owning shard's goroutine).
+	shard := sm % len(g.frontiers)
+	p := &g.pend[shard]
 	target := int64(sm)
+	if p.done >= target {
+		return
+	}
+	// Uncontended path: every predecessor already done. Read-only — no
+	// frontier store, no counted sync.
+	if g.scan(target) {
+		p.done = target
+		return
+	}
+	// Contended: publish our own position (Wait(sm) needs our own
+	// frontier at sm, and peers blocked behind our unpublished progress
+	// need the flush), then spin.
+	telGateWaits.Inc()
+	if p.count > 0 {
+		g.publish(shard)
+	}
 	for spin := 0; ; spin++ {
-		ok := true
-		for i := range g.frontiers {
-			if g.frontiers[i].v.Load() < target {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if g.scan(target) {
+			p.done = target
 			return
 		}
 		backoff(spin)
 	}
+}
+
+// scan reports whether every shard's published frontier has reached
+// target.
+func (g *Gate) scan(target int64) bool {
+	for i := range g.frontiers {
+		if g.frontiers[i].v.Load() < target {
+			return false
+		}
+	}
+	return true
 }
 
 // backoff escalates from hot spinning through the scheduler to short

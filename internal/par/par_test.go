@@ -57,7 +57,10 @@ func TestGateCanonicalOrder(t *testing.T) {
 }
 
 // TestGateFinishReleasesWaiters: a waiter on a high SM index drains once
-// every shard has finished, even shards that never visited that index.
+// every other shard has finished, even shards that never visited that
+// index. SM 99 belongs to shard 0 under the static i mod S ownership the
+// batched flush relies on (Wait publishes the calling shard's own
+// pending position before spinning).
 func TestGateFinishReleasesWaiters(t *testing.T) {
 	g := NewGate()
 	g.Size(3)
@@ -66,19 +69,51 @@ func TestGateFinishReleasesWaiters(t *testing.T) {
 	var released atomic.Bool
 	done := make(chan struct{})
 	go func() {
-		g.Visit(2, 99)
-		g.Wait(99) // blocks until shards 0 and 1 pass 98
+		g.Visit(0, 99)
+		g.Wait(99) // blocks until shards 1 and 2 pass 98
 		released.Store(true)
-		g.Finish(2)
+		g.Finish(0)
 		close(done)
 	}()
 
 	if released.Load() {
 		t.Fatal("waiter ran before predecessor shards finished")
 	}
+	g.Finish(1)
+	g.Finish(2)
+	<-done
+	g.Disarm()
+}
+
+// TestGateBatchedVisitFlushOnWait: with publication batched, a shard's
+// recorded-but-unpublished position must still unblock its own Wait
+// (flush-on-Wait), and a peer shard's batched positions publish no later
+// than every batchVisits records.
+func TestGateBatchedVisitFlushOnWait(t *testing.T) {
+	g := NewGate()
+	g.Size(2)
+	g.Arm()
+	// Shard 1 records odd SMs 1..2*batchVisits-1 without ever waiting: at
+	// least one batch boundary must have published a frontier ≥ 1.
+	for sm := 1; sm < 2*batchVisits; sm += 2 {
+		g.Visit(1, sm)
+	}
+	if got := g.frontiers[1].v.Load(); got < 1 {
+		t.Fatalf("peer frontier %d after %d visits, want batched publication ≥ 1", got, batchVisits)
+	}
+	// Shard 0 records SM 2 (one visit — below the batch) then waits on it:
+	// the flush inside Wait must publish its own position or Wait(2) would
+	// spin on frontiers[0] forever.
+	g.Visit(0, 0)
+	g.Visit(0, 2)
+	done := make(chan struct{})
+	go func() {
+		g.Wait(2)
+		close(done)
+	}()
+	<-done
 	g.Finish(0)
 	g.Finish(1)
-	<-done
 	g.Disarm()
 }
 

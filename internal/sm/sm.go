@@ -6,7 +6,6 @@ import (
 	"finereg/internal/isa"
 	"finereg/internal/kernels"
 	"finereg/internal/mem"
-	"finereg/internal/par"
 	"finereg/internal/telemetry"
 	"finereg/internal/trace"
 )
@@ -151,12 +150,6 @@ type SM struct {
 	// sink receives cycle-level trace events; nil (the default) disables
 	// tracing at the cost of one untaken branch per emission site.
 	sink trace.Sink
-
-	// gate is the sharded run loop's canonical-order gate (nil for serial
-	// runs): syncShared waits on it before any touch of shared state, so
-	// parallel Ticks commit their hierarchy/dispatcher traffic in SM index
-	// order. See internal/par and DESIGN.md §15.
-	gate *par.Gate
 }
 
 // SetTrace attaches an event sink (nil disables tracing). Attach before
@@ -167,18 +160,14 @@ func (s *SM) SetTrace(t trace.Sink) { s.sink = t }
 // it to emit register-transfer events.
 func (s *SM) Trace() trace.Sink { return s.sink }
 
-// SetGate binds the SM to the sharded run loop's ordering gate (nil
-// disables, the serial default). Set before Run, never during.
-func (s *SM) SetGate(g *par.Gate) { s.gate = g }
-
 // syncShared enters the canonical shared-state order: it returns only
 // once every lower-indexed SM of the current parallel step has completed
-// its Tick. Serial runs (nil gate) and steps outside a parallel round pay
-// one branch/atomic load. Idempotent within a Tick.
+// its Tick, with any speculatively buffered L2 reads committed first
+// (their canonical slot precedes whatever the caller is about to touch).
+// Serial runs (nil gate) and steps outside a parallel round pay a couple
+// of branches. Idempotent within a Tick.
 func (s *SM) syncShared() {
-	if s.gate != nil {
-		s.gate.Wait(s.ID)
-	}
+	s.Hier.Sync()
 }
 
 // ops returns the run's telemetry scope (nil when unobserved).
@@ -998,8 +987,18 @@ func (s *SM) issue(w *Warp, now int64) {
 		res := s.Hier.Access(s.L1, now, s.lineBuf, !in.IsLoad())
 		if in.Dst.Valid() {
 			w.regReady[in.Dst] = res.ReadyAt
+			if res.Speculative && in.IsLoad() {
+				// A replayed commit must be able to correct the
+				// provisional ready time before the next cycle reads it.
+				s.Hier.SpecPatch(&w.regReady[in.Dst])
+			}
 		}
 		if s.sink != nil {
+			// QueueDelay reads the shared DRAM channel: traced sharded
+			// runs must enter the canonical order even when the L1
+			// absorbed the access (speculation is off under tracing, so
+			// the emitted counts are final).
+			s.syncShared()
 			s.sink.MemAccess(s.ID, now, res.Transactions, res.L1Misses, res.L2Misses,
 				s.Hier.DRAM.QueueDelay(now))
 		}

@@ -1,0 +1,146 @@
+package trace
+
+// ShardBuffer is a Sink that records events instead of handling them, so
+// a sharded run (internal/gpu) can trace without serializing its Ticks:
+// each SM gets its own buffer, written only from that SM's Tick (one
+// goroutine at a time — the shard pool never runs one SM concurrently
+// with itself), and the run goroutine drains every buffer in ascending
+// SM index order at the step barrier via FlushTo. Because the serial
+// loop Ticks SMs in exactly that order, the concatenation of per-SM
+// buffers is byte-for-byte the serial event stream.
+//
+// Events carry everything their Sink method received; RunStart/RunEnd
+// are run-level and are emitted by the run goroutine directly on the
+// user's sink, so a ShardBuffer ignores them.
+type ShardBuffer struct {
+	events []bufEvent
+}
+
+// bufEvent is one recorded emission. kind selects which fields are live;
+// a single flat struct keeps the buffer allocation-free after warm-up.
+type bufEvent struct {
+	kind    bufKind
+	sm, cta int
+	warp    int
+	now     int64
+	a, b, c int64 // kind-specific int args (arg/until/wakeAt/pc/regs/miss counts...)
+	reason  StallReason
+	ctaKind CTAKind
+	tKind   TransferKind
+	queue   float64
+}
+
+type bufKind uint8
+
+const (
+	evCTA bufKind = iota
+	evWarpSpawn
+	evWarpDrop
+	evWarpBlock
+	evWarpWake
+	evWarpIssue
+	evWarpDeny
+	evWarpBarrier
+	evWarpBarrierRelease
+	evWarpExit
+	evRegTransfer
+	evMemAccess
+)
+
+// NewShardBuffer returns an empty buffer.
+func NewShardBuffer() *ShardBuffer { return &ShardBuffer{} }
+
+func (s *ShardBuffer) push(e bufEvent) { s.events = append(s.events, e) }
+
+// RunStart is a no-op: run-level events bypass the per-SM buffers.
+func (s *ShardBuffer) RunStart(kernel string, numSMs int) {}
+
+// RunEnd is a no-op: run-level events bypass the per-SM buffers.
+func (s *ShardBuffer) RunEnd(now int64) {}
+
+func (s *ShardBuffer) CTAEvent(sm int, kind CTAKind, cta int, now, arg int64) {
+	s.push(bufEvent{kind: evCTA, sm: sm, cta: cta, now: now, a: arg, ctaKind: kind})
+}
+
+func (s *ShardBuffer) WarpSpawn(sm, cta, warp int, now, wakeAt int64, reason StallReason) {
+	s.push(bufEvent{kind: evWarpSpawn, sm: sm, cta: cta, warp: warp, now: now, a: wakeAt, reason: reason})
+}
+
+func (s *ShardBuffer) WarpDrop(sm, cta, warp int, now int64) {
+	s.push(bufEvent{kind: evWarpDrop, sm: sm, cta: cta, warp: warp, now: now})
+}
+
+func (s *ShardBuffer) WarpBlock(sm, cta, warp int, now, until int64, reason StallReason) {
+	s.push(bufEvent{kind: evWarpBlock, sm: sm, cta: cta, warp: warp, now: now, a: until, reason: reason})
+}
+
+func (s *ShardBuffer) WarpWake(sm, cta, warp int, now int64) {
+	s.push(bufEvent{kind: evWarpWake, sm: sm, cta: cta, warp: warp, now: now})
+}
+
+func (s *ShardBuffer) WarpIssue(sm, cta, warp int, now int64, pc int) {
+	s.push(bufEvent{kind: evWarpIssue, sm: sm, cta: cta, warp: warp, now: now, a: int64(pc)})
+}
+
+func (s *ShardBuffer) WarpDeny(sm, cta, warp int, now int64) {
+	s.push(bufEvent{kind: evWarpDeny, sm: sm, cta: cta, warp: warp, now: now})
+}
+
+func (s *ShardBuffer) WarpBarrier(sm, cta, warp int, now int64) {
+	s.push(bufEvent{kind: evWarpBarrier, sm: sm, cta: cta, warp: warp, now: now})
+}
+
+func (s *ShardBuffer) WarpBarrierRelease(sm, cta, warp int, now int64) {
+	s.push(bufEvent{kind: evWarpBarrierRelease, sm: sm, cta: cta, warp: warp, now: now})
+}
+
+func (s *ShardBuffer) WarpExit(sm, cta, warp int, now int64) {
+	s.push(bufEvent{kind: evWarpExit, sm: sm, cta: cta, warp: warp, now: now})
+}
+
+func (s *ShardBuffer) RegTransfer(sm, cta int, kind TransferKind, regs, bytes int, now int64) {
+	s.push(bufEvent{kind: evRegTransfer, sm: sm, cta: cta, now: now, a: int64(regs), b: int64(bytes), tKind: kind})
+}
+
+func (s *ShardBuffer) MemAccess(sm int, now int64, lines, l1Miss, l2Miss int, queue float64) {
+	s.push(bufEvent{kind: evMemAccess, sm: sm, now: now, a: int64(lines), b: int64(l1Miss), c: int64(l2Miss), queue: queue})
+}
+
+// FlushTo replays every recorded event into dst in recording order and
+// empties the buffer (capacity is retained). Call from one goroutine at
+// a step barrier, in ascending SM index order across buffers.
+func (s *ShardBuffer) FlushTo(dst Sink) {
+	for i := range s.events {
+		e := &s.events[i]
+		switch e.kind {
+		case evCTA:
+			dst.CTAEvent(e.sm, e.ctaKind, e.cta, e.now, e.a)
+		case evWarpSpawn:
+			dst.WarpSpawn(e.sm, e.cta, e.warp, e.now, e.a, e.reason)
+		case evWarpDrop:
+			dst.WarpDrop(e.sm, e.cta, e.warp, e.now)
+		case evWarpBlock:
+			dst.WarpBlock(e.sm, e.cta, e.warp, e.now, e.a, e.reason)
+		case evWarpWake:
+			dst.WarpWake(e.sm, e.cta, e.warp, e.now)
+		case evWarpIssue:
+			dst.WarpIssue(e.sm, e.cta, e.warp, e.now, int(e.a))
+		case evWarpDeny:
+			dst.WarpDeny(e.sm, e.cta, e.warp, e.now)
+		case evWarpBarrier:
+			dst.WarpBarrier(e.sm, e.cta, e.warp, e.now)
+		case evWarpBarrierRelease:
+			dst.WarpBarrierRelease(e.sm, e.cta, e.warp, e.now)
+		case evWarpExit:
+			dst.WarpExit(e.sm, e.cta, e.warp, e.now)
+		case evRegTransfer:
+			dst.RegTransfer(e.sm, e.cta, e.tKind, int(e.a), int(e.b), e.now)
+		case evMemAccess:
+			dst.MemAccess(e.sm, e.now, int(e.a), int(e.b), int(e.c), e.queue)
+		}
+	}
+	s.events = s.events[:0]
+}
+
+// Len reports the number of buffered events (tests).
+func (s *ShardBuffer) Len() int { return len(s.events) }

@@ -43,9 +43,13 @@ go test -race -count=1 -timeout 10m -run 'Progress|Telemetry|Attribution' \
 	./internal/gpu/ ./internal/telemetry/ ./internal/runner/ ./internal/serve/ ./internal/audit/diff/
 # Sharded-core gate: the golden matrix byte-identity proof at shards
 # 1 (TestGoldenCycleExactness), 2, and 4 (TestGoldenShardedExecution)
-# under the race detector, plus the gpu-level sharded identity, panic
-# containment, and fallback tests. This is the determinism acceptance
-# check for the parallel event core.
+# under the race detector — the sharded cells run untraced, so batched
+# frontier publication AND speculative L2 reads are both live in them —
+# plus the gpu-level sharded identity, speculation-replay, traced-stream
+# identity, panic containment, and fallback tests, and the sharded stall
+# partition (per-SM trace buffers merged in canonical order). This is the
+# determinism acceptance check for the low-sync parallel event core.
 go test -race -count=1 -timeout 10m \
 	-run 'TestGoldenCycleExactness|TestGoldenShardedExecution' ./internal/audit/diff/
 go test -race -count=1 -timeout 10m -run 'TestSharded|TestEffectiveShards' ./internal/gpu/
+go test -race -count=1 -timeout 10m -run 'TestStallPartitionInvariantSharded' ./internal/trace/
