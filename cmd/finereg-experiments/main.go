@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	finereg-experiments [-only t2,f2,f3,f4,f5,t3,f12,f13,f14,f15,f16,f17,f18,f19,abl,stalls]
+//	finereg-experiments [-only t2,f2,f3,f4,f5,t3,f12,f13,f14,f15,f16,f17,f18,f19,abl,stalls,mps]
 //	                    [-sms 16] [-shards N] [-grid-scale 1.0] [-quick] [-audit] [-audit-collect]
 //	                    [-jobs N] [-cache-dir .finereg-cache] [-no-cache]
 //	                    [-job-timeout 0] [-server http://host:8321]
@@ -38,7 +38,7 @@ import (
 var experimentIDs = []string{
 	"t2", "f2", "f3", "f4", "f5", "t3",
 	"f12", "f13", "f14", "f15", "f16", "f17", "f18", "f19",
-	"abl", "stalls",
+	"abl", "stalls", "mps",
 }
 
 func main() {
@@ -186,6 +186,9 @@ func main() {
 	})
 	run("stalls", "Stall attribution: warp-slot cycle breakdown", func() (interface{ Render() string }, error) {
 		return experiments.StallBreakdowns(opts, nil)
+	})
+	run("mps", "MPS co-scheduling: multi-tenant interference", func() (interface{ Render() string }, error) {
+		return experiments.MPS(opts, nil)
 	})
 
 	progress.Close()

@@ -2,7 +2,12 @@
 // disassembly, control-flow graph, post-dominator reconvergence points,
 // and the per-PC live-register bit vectors the FineReg RMU consumes.
 //
-//	finereg-liveness [-bench CS]
+//	finereg-liveness [-bench CS | -program file.sasm] [-emit-asm]
+//
+// -program (alias -asm) analyzes a user .sasm file through the same
+// ingestion loader the simulator and the serving stack use, so what this
+// tool prints — and the errors it reports, with the assembler's
+// line/column — is exactly what a submitted job would see.
 package main
 
 import (
@@ -13,43 +18,51 @@ import (
 	"finereg/internal/isa"
 	"finereg/internal/kernels"
 	"finereg/internal/liveness"
+	"finereg/internal/workload"
 )
 
 func main() {
 	bench := flag.String("bench", "CS", "Table II benchmark abbreviation")
-	asmFile := flag.String("asm", "", "analyze an assembly file instead of a built-in benchmark")
+	asmFile := flag.String("asm", "", "analyze a .sasm file instead of a built-in benchmark")
+	programFile := flag.String("program", "", "alias for -asm")
 	emitAsm := flag.Bool("emit-asm", false, "print the kernel in assembly format and exit")
 	flag.Parse()
 
-	var prog *isa.Program
-	if *asmFile != "" {
-		text, err := os.ReadFile(*asmFile)
+	file := *asmFile
+	if file == "" {
+		file = *programFile
+	}
+	var k *kernels.Kernel
+	if file != "" {
+		text, err := os.ReadFile(file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		p, err := isa.Assemble(string(text))
+		// The service-path loader: assemble, validate, liveness-analyze,
+		// derive the occupancy profile.
+		k, err = (&workload.Program{Source: string(text)}).Load(kernels.Limits{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		prog = p
 	} else {
 		prof, err := kernels.ProfileByName(*bench)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		prog = kernels.MustBuild(prof, 1).Prog
+		k = kernels.MustBuild(prof, 1)
 	}
 	if *emitAsm {
-		fmt.Print(isa.EmitAsm(prog))
+		fmt.Print(isa.EmitAsm(k.Prog))
 		return
 	}
-	k := struct {
-		Prog *isa.Program
-		Live *liveness.Info
-	}{Prog: prog, Live: liveness.MustAnalyze(prog)}
+	if file != "" {
+		p := &k.Profile
+		fmt.Printf("kernel %s: %d warps/CTA, %d regs/thread, %d B shared/CTA, grid %d CTAs\n\n",
+			p.Abbrev, p.WarpsPerCTA, p.Regs, p.SharedMem, k.GridCTAs)
+	}
 	fmt.Print(isa.Disassemble(k.Prog))
 	fmt.Println()
 

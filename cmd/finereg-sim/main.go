@@ -5,11 +5,24 @@
 // Usage:
 //
 //	finereg-sim [-bench CS,LB | all] [-policy baseline,vt,regdram,regmutex,finereg | all]
+//	            [-program file.sasm] [-stream a.sasm,b.sasm] [-partitions 8,8]
 //	            [-sms 16] [-shards N] [-grid-scale 1.0] [-srp 0.25] [-dram-cap 4] [-v]
 //	            [-json | -csv] [-stalls] [-audit] [-audit-collect]
 //	            [-jobs N] [-cache-dir ''] [-no-cache] [-job-timeout 0]
 //	            [-progress] [-progress-every N]
 //	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -program runs a user-supplied .sasm file (the internal/isa assembly
+// dialect; launch geometry comes from the source's .warps/.shmem/.grid
+// directives) instead of the built-in benchmarks, through the same
+// ingestion loader the serving stack uses — the run is byte-identical to
+// submitting the same source via POST /v1/jobs. -stream runs several
+// files back-to-back as one in-order stream on one GPU (per-kernel
+// segment rows plus a combined rollup); with -partitions N1,N2,... the
+// same files instead run concurrently, one per static SM partition
+// (MPS-style: disjoint SM ranges, shared L2/DRAM; the counts must sum to
+// -sms). A file entry of the form bench:XX references a built-in Table II
+// benchmark instead of reading a file.
 //
 // -json and -csv replace the table with machine-readable output on stdout
 // (one record per benchmark × policy run, derived ratios included).
@@ -47,6 +60,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 
 	"finereg/internal/audit"
@@ -56,31 +71,35 @@ import (
 	"finereg/internal/runner"
 	"finereg/internal/stats"
 	"finereg/internal/trace"
+	"finereg/internal/workload"
 )
 
 func main() {
 	var (
-		benchFlag  = flag.String("bench", "all", "comma-separated benchmark abbreviations, or 'all'")
-		policyFlag = flag.String("policy", "all", "comma-separated policies: baseline,vt,regdram,regmutex,finereg, or 'all'")
-		sms        = flag.Int("sms", 16, "number of SMs (shared resources scale proportionally)")
-		shards     = flag.Int("shards", 0, "SM shard goroutines per simulation (0/1 = serial; results byte-identical at any value)")
-		gridScale  = flag.Float64("grid-scale", 0, "grid-size scale factor (default: sms/16)")
-		srp        = flag.Float64("srp", 0.25, "RegMutex SRP fraction of the register file")
-		dramCap    = flag.Int("dram-cap", 4, "Reg+DRAM off-chip pending CTAs per SM")
-		verbose    = flag.Bool("v", false, "print extended metrics")
-		jsonOut    = flag.Bool("json", false, "emit metrics as a JSON array instead of the table")
-		csvOut     = flag.Bool("csv", false, "emit metrics as CSV instead of the table")
-		stalls     = flag.Bool("stalls", false, "trace each run and attach the stall-cycle breakdown")
-		auditRuns  = flag.Bool("audit", false, "enable the runtime invariant auditor on every run (internal/audit)")
-		auditAll   = flag.Bool("audit-collect", false, "audit in collect-all mode: gather every violation and summarize at the end instead of aborting at the first (implies -audit)")
-		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory ('' = no disk cache)")
-		noCache    = flag.Bool("no-cache", false, "disable the on-disk cache even if -cache-dir is set")
-		jobTimeout = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
-		progress   = flag.Bool("progress", false, "render a live stderr status line with in-run simulation progress")
-		progEvery  = flag.Int64("progress-every", 0, "in-run sample period in simulated cycles (0 = default; needs -progress)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation batch to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation batch to this file")
+		benchFlag   = flag.String("bench", "all", "comma-separated benchmark abbreviations, or 'all'")
+		policyFlag  = flag.String("policy", "all", "comma-separated policies: baseline,vt,regdram,regmutex,finereg, or 'all'")
+		programFlag = flag.String("program", "", "run a user .sasm program file instead of the built-in benchmarks")
+		streamFlag  = flag.String("stream", "", "comma-separated .sasm files (or bench:XX entries) run as one in-order stream")
+		partsFlag   = flag.String("partitions", "", "comma-separated SM counts (summing to -sms): run the -stream kernels concurrently, one per static partition")
+		sms         = flag.Int("sms", 16, "number of SMs (shared resources scale proportionally)")
+		shards      = flag.Int("shards", 0, "SM shard goroutines per simulation (0/1 = serial; results byte-identical at any value)")
+		gridScale   = flag.Float64("grid-scale", 0, "grid-size scale factor (default: sms/16)")
+		srp         = flag.Float64("srp", 0.25, "RegMutex SRP fraction of the register file")
+		dramCap     = flag.Int("dram-cap", 4, "Reg+DRAM off-chip pending CTAs per SM")
+		verbose     = flag.Bool("v", false, "print extended metrics")
+		jsonOut     = flag.Bool("json", false, "emit metrics as a JSON array instead of the table")
+		csvOut      = flag.Bool("csv", false, "emit metrics as CSV instead of the table")
+		stalls      = flag.Bool("stalls", false, "trace each run and attach the stall-cycle breakdown")
+		auditRuns   = flag.Bool("audit", false, "enable the runtime invariant auditor on every run (internal/audit)")
+		auditAll    = flag.Bool("audit-collect", false, "audit in collect-all mode: gather every violation and summarize at the end instead of aborting at the first (implies -audit)")
+		jobs        = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cache-dir", "", "on-disk result cache directory ('' = no disk cache)")
+		noCache     = flag.Bool("no-cache", false, "disable the on-disk cache even if -cache-dir is set")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-simulation wall-clock budget (0 = none)")
+		progress    = flag.Bool("progress", false, "render a live stderr status line with in-run simulation progress")
+		progEvery   = flag.Int64("progress-every", 0, "in-run sample period in simulated cycles (0 = default; needs -progress)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the simulation batch to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the simulation batch to this file")
 	)
 	flag.Parse()
 
@@ -122,21 +141,56 @@ func main() {
 	}
 
 	var jobList []*runner.Job
-	for _, b := range benches {
-		p, err := kernels.ProfileByName(strings.TrimSpace(b))
+	if *programFlag != "" || *streamFlag != "" {
+		progs, name, err := programSpecs(*programFlag, *streamFlag)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "finereg-sim:", err)
 			os.Exit(1)
 		}
+		if *partsFlag != "" {
+			cfg.Partitions, err = parsePartitions(*partsFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "finereg-sim:", err)
+				os.Exit(1)
+			}
+		}
 		for _, pol := range policies {
-			jobList = append(jobList, &runner.Job{
-				Cfg:     cfg,
-				Profile: p,
-				Grid:    int(float64(p.GridCTAs)*scale + 0.5),
-				Policy:  pol.spec,
-				Stalls:  *stalls,
-				Label:   p.Abbrev + "/" + pol.name,
-			})
+			j := &runner.Job{
+				Cfg:      cfg,
+				Programs: progs,
+				Policy:   pol.spec,
+				Stalls:   *stalls,
+				Label:    name + "/" + pol.name,
+			}
+			// Same admission gate as the service path: malformed source
+			// fails here with the assembler's line/column, not mid-run.
+			if err := j.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, "finereg-sim:", err)
+				os.Exit(1)
+			}
+			jobList = append(jobList, j)
+		}
+	} else {
+		if *partsFlag != "" {
+			fmt.Fprintln(os.Stderr, "finereg-sim: -partitions needs -stream (one kernel per partition)")
+			os.Exit(1)
+		}
+		for _, b := range benches {
+			p, err := kernels.ProfileByName(strings.TrimSpace(b))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, pol := range policies {
+				jobList = append(jobList, &runner.Job{
+					Cfg:     cfg,
+					Profile: p,
+					Grid:    int(float64(p.GridCTAs)*scale + 0.5),
+					Policy:  pol.spec,
+					Stalls:  *stalls,
+					Label:   p.Abbrev + "/" + pol.name,
+				})
+			}
 		}
 	}
 
@@ -161,6 +215,13 @@ func main() {
 		runs = append(runs, m)
 		tbl.AddRow(j.Label,
 			m.IPC(), m.Cycles, m.AvgResidentCTAs, m.AvgActiveCTAs, m.CTASwitches, m.DRAMBytes()>>10)
+		// Multi-kernel jobs: one row per stream/partition segment under the
+		// rollup (segments ride along in -json/-csv output too).
+		for si, seg := range batch.Results[i].Segments {
+			runs = append(runs, seg)
+			tbl.AddRow(fmt.Sprintf("  [%d] %s", si, seg.Benchmark),
+				seg.IPC(), seg.Cycles, seg.AvgResidentCTAs, seg.AvgActiveCTAs, seg.CTASwitches, seg.DRAMBytes()>>10)
+		}
 		if *verbose {
 			fmt.Printf("# %s: L1 %.1f%% miss, L2 %.1f%% miss, depletion %d cyc, first-stall %.0f cyc, ctx %d KB\n",
 				j.Label, 100*m.L1MissRate(), 100*m.L2MissRate(),
@@ -198,6 +259,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "finereg-sim: %d/%d runs failed\n", len(failed), len(jobList))
 		os.Exit(1)
 	}
+}
+
+// programSpecs turns -program/-stream into workload specs plus a display
+// name. Each entry is a .sasm file path or bench:XX for a built-in
+// benchmark; files are read here, so the job carries the source text and
+// runs through the exact loader the serving stack uses.
+func programSpecs(program, stream string) ([]workload.Program, string, error) {
+	if program != "" && stream != "" {
+		return nil, "", errors.New("use -program or -stream, not both")
+	}
+	entries := []string{program}
+	if stream != "" {
+		entries = strings.Split(stream, ",")
+	}
+	var progs []workload.Program
+	var names []string
+	for _, e := range entries {
+		e = strings.TrimSpace(e)
+		if b, ok := strings.CutPrefix(e, "bench:"); ok {
+			progs = append(progs, workload.Program{Bench: b})
+			names = append(names, b)
+			continue
+		}
+		text, err := os.ReadFile(e)
+		if err != nil {
+			return nil, "", err
+		}
+		progs = append(progs, workload.Program{Source: string(text)})
+		names = append(names, strings.TrimSuffix(filepath.Base(e), filepath.Ext(e)))
+	}
+	return progs, strings.Join(names, "+"), nil
+}
+
+// parsePartitions parses -partitions (e.g. "8,8"); gpu.ValidatePartitions
+// checks the geometry during job validation.
+func parsePartitions(s string) ([]int, error) {
+	var parts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad -partitions entry %q", f)
+		}
+		parts = append(parts, n)
+	}
+	return parts, nil
 }
 
 type namedPolicy struct {

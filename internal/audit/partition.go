@@ -1,0 +1,99 @@
+// partition.go extends the auditor with the MPS-style partition
+// accounting invariants (gpu.Config.Partitions): each partition's grid
+// dispatcher must hand out CTAs only within its own grid, and every
+// hand-out must be conserved into exactly one launch on one of the
+// partition's SMs. These are the cross-SM analogue of CheckSM's per-SM
+// occupancy rules — a dispatcher shared by the wrong SM set, or a CTA ID
+// leaking between partitions, corrupts every per-tenant metric silently.
+package audit
+
+import (
+	"fmt"
+
+	"finereg/internal/sm"
+)
+
+// Partition describes one static SM partition for the accounting checks.
+// gpu's run loop refreshes these from the live dispatchers each audit
+// step; the struct holds plain values so audit needs no gpu import.
+type Partition struct {
+	// Index is the partition's position in the machine's partition list.
+	Index int
+	// SMs is the partition's SM subset, in ascending index order.
+	SMs []*sm.SM
+	// Base[i] is SMs[i]'s cumulative CTAsLaunched recorded immediately
+	// before the partition's kernel was bound, so launch conservation
+	// holds per segment even on a machine that has run kernels before.
+	Base []int64
+	// Dispatched is how many CTA IDs the partition's dispatcher has handed
+	// out; Total is the kernel's grid size.
+	Dispatched, Total int
+}
+
+// CheckPartitions verifies the partition accounting invariants at cycle
+// now and returns the first *Violation, or nil:
+//
+//	dispatchBounds       0 <= Dispatched <= Total
+//	launchConservation   Σ over the partition's SMs of
+//	                     (CTAsLaunched − Base) == Dispatched
+//	ctaRange, ctaDup     resident CTA IDs lie in [0, Total) and are
+//	                     unique within the partition
+//
+// Like CheckSM it must run between event steps (mid-Tick, a hand-out can
+// be in flight between NextCTAID and the launch counter increment).
+func CheckPartitions(parts []Partition, now int64) error {
+	for i := range parts {
+		if err := checkPartition(&parts[i], now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkPartition(p *Partition, now int64) error {
+	fail := func(smID int, rule string, got, want int64, detail string) error {
+		return &Violation{SM: smID, Cycle: now, Rule: rule, Got: got, Want: want,
+			Detail: fmt.Sprintf("partition %d: %s", p.Index, detail)}
+	}
+	if p.Dispatched < 0 || p.Dispatched > p.Total {
+		return fail(-1, "partition:dispatchBounds", int64(p.Dispatched), int64(p.Total),
+			"dispatched CTA count outside [0, grid]")
+	}
+	var launched int64
+	seen := make(map[int]int, 64) // CTA ID -> SM holding it
+	for i, s := range p.SMs {
+		var base int64
+		if i < len(p.Base) {
+			base = p.Base[i]
+		}
+		launched += s.Cnt.CTAsLaunched - base
+		for _, c := range s.Residents() {
+			if c.ID < 0 || c.ID >= p.Total {
+				return fail(s.ID, "partition:ctaRange", int64(c.ID), int64(p.Total),
+					fmt.Sprintf("resident CTA %d outside the partition's grid [0,%d)", c.ID, p.Total))
+			}
+			if prev, dup := seen[c.ID]; dup {
+				return fail(s.ID, "partition:ctaDup", int64(c.ID), int64(c.ID),
+					fmt.Sprintf("CTA %d resident on both SM%d and SM%d", c.ID, prev, s.ID))
+			}
+			seen[c.ID] = s.ID
+		}
+	}
+	if launched != int64(p.Dispatched) {
+		return fail(-1, "partition:launchConservation", launched, int64(p.Dispatched),
+			"per-SM launches since bind vs dispatcher hand-outs")
+	}
+	return nil
+}
+
+// StepPartitions applies CheckPartitions under the auditor's failure
+// mode: fail-fast returns the violation, collect mode records it into the
+// run's harvest and lets the simulation continue.
+func (a *Auditor) StepPartitions(parts []Partition, now int64) error {
+	err := CheckPartitions(parts, now)
+	if err == nil || !a.opts.ContinueOnViolation {
+		return err
+	}
+	a.record(err)
+	return nil
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMPSInterference(t *testing.T) {
+	opts := Quick()
+	opts.Audit = true // partition accounting invariants run on every co-run
+	res, err := MPS(opts, []MPSPair{{"CS", "LB"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // Baseline + FineReg
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.InstrMatch {
+			t.Errorf("%s(%s): partition instruction counts drifted from solo runs", row.Pair, row.Config)
+		}
+		if row.SlowdownA <= 0 || row.SlowdownB <= 0 || row.Stretch <= 0 {
+			t.Errorf("%s(%s): non-positive interference figures: %+v", row.Pair, row.Config, row)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "CS|LB(Baseline)") || !strings.Contains(out, "=solo") {
+		t.Errorf("render missing expected rows:\n%s", out)
+	}
+}
+
+func TestMPSRejectsOddMachines(t *testing.T) {
+	opts := Quick()
+	opts.SMs = 3
+	if _, err := MPS(opts, nil); err == nil {
+		t.Error("odd SM count accepted")
+	}
+}

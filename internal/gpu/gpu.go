@@ -92,6 +92,46 @@ type Config struct {
 	// shards change wall-clock time, never results, so sharded and serial
 	// runs share cache entries.
 	Shards int `json:"-"`
+
+	// Partitions, when non-empty, statically partitions the machine
+	// MPS-style: entry p is partition p's SM count, partitions occupy
+	// disjoint contiguous SM index ranges in declaration order, and the
+	// entries must sum to NumSMs (ValidatePartitions checks; New panics on
+	// violation, so network input is validated at admission). Each
+	// partition gets a private grid dispatcher while all partitions share
+	// the L2 and DRAM channel, so RunConcurrent kernels contend in the
+	// memory hierarchy but can never steal each other's CTA slots. Empty
+	// means one partition spanning the whole machine. Part of the
+	// runner.Job key (omitempty keeps legacy keys byte-identical).
+	Partitions []int `json:",omitempty"`
+}
+
+// ValidatePartitions reports whether parts is a valid MPS-style static
+// partitioning of numSMs SMs: every entry >= 1 and the entries sum to
+// numSMs. Empty parts — the unpartitioned machine — is always valid.
+func ValidatePartitions(numSMs int, parts []int) error {
+	_, err := partitionSpans(numSMs, parts)
+	return err
+}
+
+// partitionSpans lowers a partition spec to [lo, hi) SM index ranges.
+func partitionSpans(numSMs int, parts []int) ([][2]int, error) {
+	if len(parts) == 0 {
+		return [][2]int{{0, numSMs}}, nil
+	}
+	spans := make([][2]int, len(parts))
+	lo := 0
+	for p, n := range parts {
+		if n < 1 {
+			return nil, fmt.Errorf("gpu: partition %d has %d SMs, want >= 1", p, n)
+		}
+		spans[p] = [2]int{lo, lo + n}
+		lo += n
+	}
+	if lo != numSMs {
+		return nil, fmt.Errorf("gpu: partitions sum to %d SMs, machine has %d", lo, numSMs)
+	}
+	return spans, nil
 }
 
 // DefaultProgressEvery is the Progress sample period when
@@ -153,9 +193,12 @@ type GPU struct {
 	Cfg  Config
 	Hier *mem.Hierarchy
 	SMs  []*sm.SM
-	disp *dispatcher
-	sink trace.Sink
-	stop atomic.Bool
+	// disps holds one grid dispatcher per partition (exactly one on an
+	// unpartitioned machine); spans[p] is partition p's [lo, hi) SM range.
+	disps []*dispatcher
+	spans [][2]int
+	sink  trace.Sink
+	stop  atomic.Bool
 
 	// gate orders shared-state access during parallel event steps; armed
 	// only while a sharded round is in flight (see shard.go).
@@ -187,15 +230,28 @@ func (g *GPU) SetTrace(t trace.Sink) {
 // canonical order — so hierarchy traffic self-serializes when Run
 // executes event steps across shard goroutines.
 func New(cfg Config, pf PolicyFactory) *GPU {
+	spans, err := partitionSpans(cfg.NumSMs, cfg.Partitions)
+	if err != nil {
+		// runner.Job.Validate rejects invalid specs at admission; reaching
+		// here with one is a caller bug, not a data error.
+		panic(err)
+	}
 	hier := mem.NewHierarchy(cfg.L2Bytes, cfg.L2Ways, cfg.DRAMLatency, cfg.DRAMBytesPerCycle, cfg.Lat)
-	g := &GPU{Cfg: cfg, Hier: hier, disp: &dispatcher{}, gate: par.NewGate()}
+	g := &GPU{Cfg: cfg, Hier: hier, spans: spans, gate: par.NewGate()}
+	for range spans {
+		g.disps = append(g.disps, &dispatcher{})
+	}
 	if cfg.Progress != nil {
 		g.ops = telemetry.NewScope()
 		hier.SetOps(g.ops)
 	}
+	p := 0
 	for i := 0; i < cfg.NumSMs; i++ {
+		for i >= spans[p][1] {
+			p++
+		}
 		hv := hier.ShardView(g.gate, i)
-		s := sm.New(i, cfg.SM, hv, g.disp, pf(cfg.SM, hv))
+		s := sm.New(i, cfg.SM, hv, g.disps[p], pf(cfg.SM, hv))
 		g.SMs = append(g.SMs, s)
 	}
 	return g
@@ -265,10 +321,14 @@ func (g *GPU) sampleProgress(p *progressState, now int64, final bool) {
 	if dt := wall.Sub(p.lastWall).Seconds(); dt > 0 {
 		rate = float64(cycD) / dt
 	}
+	var grid int64
+	for _, d := range g.disps {
+		grid += int64(d.total)
+	}
 	sample := trace.ProgressSample{
 		Cycle:        now,
 		CycleDelta:   cycD,
-		GridCTAs:     int64(g.disp.total),
+		GridCTAs:     grid,
 		CTAsLaunched: launched,
 		CTAsRetired:  launched - int64(resident),
 		Instructions: instr,
@@ -287,48 +347,170 @@ func (g *GPU) sampleProgress(p *progressState, now int64, final bool) {
 	p.cb(sample)
 }
 
-// Run executes kernel k to completion and returns its metrics.
-func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
-	g.disp.next, g.disp.total = 0, k.GridCTAs
-	maxCycles := g.Cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = 200_000_000
-	}
+// loopState carries one run's cross-segment bookkeeping: the sampling and
+// audit state live here so a multi-kernel stream shares one progress
+// timeline and one violation harvest across segments, and the cycle clock
+// (now) only moves forward — the DRAM channel keeps absolute-time state,
+// so a later kernel must never rewind the clock the hierarchy has seen.
+type loopState struct {
+	prog    *progressState
+	auditor *audit.Auditor
+	// Partition-audit scratch (nil when auditing is off): base[i] is SM
+	// i's cumulative CTAsLaunched recorded immediately before the latest
+	// bind, so per-segment launch deltas can be conserved against the
+	// dispatcher hand-outs; parts is reused every audit step.
+	parts []audit.Partition
+	base  []int64
 
-	for _, s := range g.SMs {
-		s.BindKernel(k, 0)
-	}
-	if g.sink != nil {
-		g.sink.RunStart(k.Name(), len(g.SMs))
-	}
+	now       int64
+	maxCycles int64
+}
 
-	var prog *progressState
+func (g *GPU) startRun() *loopState {
+	st := &loopState{maxCycles: g.Cfg.MaxCycles}
+	if st.maxCycles == 0 {
+		st.maxCycles = 200_000_000
+	}
 	if g.Cfg.Progress != nil {
-		prog = newProgressState(g.Cfg.Progress, g.Cfg.ProgressEvery)
+		st.prog = newProgressState(g.Cfg.Progress, g.Cfg.ProgressEvery)
 	}
-
-	var auditor *audit.Auditor
 	if g.Cfg.Audit {
-		auditor = audit.NewWithOptions(audit.Options{
+		st.auditor = audit.NewWithOptions(audit.Options{
 			Interval:            g.Cfg.AuditInterval,
 			ContinueOnViolation: g.Cfg.AuditCollect,
 		})
-		auditor.Hier = g.Hier
+		st.auditor.Hier = g.Hier
+		st.parts = make([]audit.Partition, len(g.disps))
+		st.base = make([]int64, len(g.SMs))
 	}
+	return st
+}
 
-	// The run loop is event-driven per SM: each SM's last-returned wake
-	// time is cached, and a global step only re-Ticks the SMs whose cache
-	// is due. A skipped SM is provably inert — it reported no awake warps
-	// and no event at or before now, and nothing outside its own Tick
-	// mutates it — so re-Ticking it (as the dense loop did) could only
-	// drain zero events and return the same wake time. The step sequence,
-	// and therefore every cycle count, is identical to the dense loop's.
-	//
-	// Occupancy integrals likewise no longer cost a per-step sweep over
-	// all SMs: each SM integrates its own counters at state transitions
-	// (sm.statSample) and the totals are flushed once at run end.
-	var now int64
-	wake := make([]int64, len(g.SMs)) // zero: every SM ticks at cycle 0
+// bind points each partition's dispatcher at its kernel and binds the
+// partition's SMs at the current cycle, in ascending SM index order — the
+// same order the event loop Ticks in, so CTA IDs land deterministically.
+// ks[p] is partition p's kernel.
+func (g *GPU) bind(ks []*kernels.Kernel, st *loopState) {
+	if st.base != nil {
+		// Launch baseline must precede BindKernel: FillSlots consumes
+		// dispatcher IDs and bumps CTAsLaunched during the bind itself.
+		for i, s := range g.SMs {
+			st.base[i] = s.Cnt.CTAsLaunched
+		}
+	}
+	for p, k := range ks {
+		g.disps[p].next, g.disps[p].total = 0, k.GridCTAs
+	}
+	for p, k := range ks {
+		lo, hi := g.spans[p][0], g.spans[p][1]
+		for _, s := range g.SMs[lo:hi] {
+			s.BindKernel(k, st.now)
+		}
+	}
+}
+
+// remaining sums the undispatched CTAs across every partition.
+func (g *GPU) remaining() int {
+	n := 0
+	for _, d := range g.disps {
+		n += d.Remaining()
+	}
+	return n
+}
+
+// auditPartitions refreshes the partition descriptors from the live
+// dispatchers and runs the partition accounting invariants.
+func (g *GPU) auditPartitions(st *loopState, now int64) error {
+	for p, d := range g.disps {
+		lo, hi := g.spans[p][0], g.spans[p][1]
+		st.parts[p] = audit.Partition{
+			Index:      p,
+			SMs:        g.SMs[lo:hi],
+			Base:       st.base[lo:hi],
+			Dispatched: d.next,
+			Total:      d.total,
+		}
+	}
+	return st.auditor.StepPartitions(st.parts, now)
+}
+
+// auditFinal runs the end-of-run audit: partition accounting against the
+// drained dispatchers, the per-SM leak sweep, and — in collect mode — the
+// whole run's violation harvest.
+func (g *GPU) auditFinal(st *loopState) error {
+	if st.auditor == nil {
+		return nil
+	}
+	if err := g.auditPartitions(st, st.now); err != nil {
+		return err
+	}
+	return st.auditor.Final(g.SMs, st.now)
+}
+
+// reconcile settles the process-wide cycle/instruction telemetry at run
+// end: sampled runs via the Final sample's deltas, unsampled runs in one
+// shot.
+func (g *GPU) reconcile(st *loopState) {
+	if st.prog != nil {
+		g.sampleProgress(st.prog, st.now, true)
+		return
+	}
+	telCycles.Add(st.now)
+	var instr int64
+	for _, s := range g.SMs {
+		instr += s.Cnt.Instructions
+	}
+	telInstructions.Add(instr)
+}
+
+// Run executes kernel k to completion and returns its metrics. It drives
+// the whole machine as one partition; partitioned machines run through
+// RunConcurrent, multi-kernel streams through RunStream.
+func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
+	if len(g.disps) != 1 {
+		return nil, fmt.Errorf("gpu: Run drives an unpartitioned machine (this one has %d partitions); use RunConcurrent", len(g.disps))
+	}
+	st := g.startRun()
+	g.bind([]*kernels.Kernel{k}, st)
+	if g.sink != nil {
+		g.sink.RunStart(k.Name(), len(g.SMs))
+	}
+	if err := g.runLoop(st); err != nil {
+		return nil, err
+	}
+	if err := g.auditFinal(st); err != nil {
+		return nil, err
+	}
+	if g.sink != nil {
+		g.sink.RunEnd(st.now)
+	}
+	g.reconcile(st)
+	return g.collectNamed(k.Name(), st.now), nil
+}
+
+// runLoop advances the machine from st.now until every resident CTA has
+// retired and every dispatcher has drained, leaving the end cycle in
+// st.now. One invocation is one segment: Run uses a single segment,
+// RunStream one per stream kernel (continuing the clock), RunConcurrent
+// one for all partitions together.
+//
+// The loop is event-driven per SM: each SM's last-returned wake
+// time is cached, and a global step only re-Ticks the SMs whose cache
+// is due. A skipped SM is provably inert — it reported no awake warps
+// and no event at or before now, and nothing outside its own Tick
+// mutates it — so re-Ticking it (as the dense loop did) could only
+// drain zero events and return the same wake time. The step sequence,
+// and therefore every cycle count, is identical to the dense loop's.
+//
+// Occupancy integrals likewise no longer cost a per-step sweep over
+// all SMs: each SM integrates its own counters at state transitions
+// (sm.statSample) and the totals are flushed once at run end.
+func (g *GPU) runLoop(st *loopState) error {
+	now := st.now
+	wake := make([]int64, len(g.SMs))
+	for i := range wake {
+		wake[i] = now // every SM ticks at the segment's first step
+	}
 	residentSMs := 0
 	hasRes := make([]bool, len(g.SMs))
 	for i, s := range g.SMs {
@@ -381,7 +563,7 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 
 	for {
 		if g.stop.Load() {
-			return nil, fmt.Errorf("%w at cycle %d", ErrInterrupted, now)
+			return fmt.Errorf("%w at cycle %d", ErrInterrupted, now)
 		}
 		next := farFuture
 		parallel := false
@@ -396,7 +578,7 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 				var err error
 				next, residentSMs, err = pool.step(now)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				parallel = true
 			}
@@ -410,7 +592,7 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 				var err error
 				next, err = g.stepInlineProtected(now, wake, hasRes, &residentSMs)
 				if err != nil {
-					return nil, err
+					return err
 				}
 			} else {
 				next = g.stepInline(now, wake, hasRes, &residentSMs)
@@ -421,58 +603,38 @@ func (g *GPU) Run(k *kernels.Kernel) (*stats.Metrics, error) {
 				b.FlushTo(g.sink)
 			}
 		}
-		if auditor != nil {
-			if err := auditor.Step(g.SMs, now); err != nil {
-				return nil, err
+		if st.auditor != nil {
+			if err := st.auditor.Step(g.SMs, now); err != nil {
+				return err
+			}
+			if err := g.auditPartitions(st, now); err != nil {
+				return err
 			}
 		}
-		if residentSMs == 0 && g.disp.Remaining() == 0 {
+		if residentSMs == 0 && g.remaining() == 0 {
 			break
 		}
 		// Sampling rides the wake schedule: the check costs one compare
 		// when progress is off, and a due sample fires at the event step
 		// already being executed — never by inserting one. The final
-		// iteration is covered by the Final sample below, so a periodic
+		// iteration is covered by the run-end Final sample, so a periodic
 		// sample never duplicates it.
-		if prog != nil && now >= prog.nextAt {
-			g.sampleProgress(prog, now, false)
+		if st.prog != nil && now >= st.prog.nextAt {
+			g.sampleProgress(st.prog, now, false)
 		}
 		if next == farFuture {
-			return nil, fmt.Errorf("%w: %d CTAs unfinished at cycle %d\n%s", ErrDeadlock, g.residentCount(), now, g.debugResidents())
+			return fmt.Errorf("%w: %d CTAs unfinished at cycle %d\n%s", ErrDeadlock, g.residentCount(), now, g.debugResidents())
 		}
 		if next <= now {
 			next = now + 1
 		}
 		now = next
-		if now > maxCycles {
-			return nil, fmt.Errorf("%w: %d cycles", ErrCycleBudget, now)
+		if now > st.maxCycles {
+			return fmt.Errorf("%w: %d cycles", ErrCycleBudget, now)
 		}
 	}
-
-	if auditor != nil {
-		// End-of-run leak check: with the grid drained, every counter must
-		// read empty and every policy account fully free.
-		if err := auditor.Final(g.SMs, now); err != nil {
-			return nil, err
-		}
-	}
-	if g.sink != nil {
-		g.sink.RunEnd(now)
-	}
-	// Every completed run reconciles the process-wide cycle/instruction
-	// telemetry: sampled runs via the Final sample's deltas, unsampled
-	// runs in one shot here.
-	if prog != nil {
-		g.sampleProgress(prog, now, true)
-	} else {
-		telCycles.Add(now)
-		var instr int64
-		for _, s := range g.SMs {
-			instr += s.Cnt.Instructions
-		}
-		telInstructions.Add(instr)
-	}
-	return g.collect(k, now), nil
+	st.now = now
+	return nil
 }
 
 // debugResidents dumps stuck CTA/warp state for deadlock reports.
@@ -494,9 +656,14 @@ func (g *GPU) residentCount() int {
 	return n
 }
 
-func (g *GPU) collect(k *kernels.Kernel, cycles int64) *stats.Metrics {
+// collectNamed gathers the machine's cumulative counters into one Metrics
+// under the given benchmark name. Occupancy averages come from the
+// integrals since the latest BindKernel, so they are valid for
+// single-segment runs (Run, RunConcurrent); RunStream overwrites them
+// with cycle-weighted segment averages.
+func (g *GPU) collectNamed(name string, cycles int64) *stats.Metrics {
 	m := &stats.Metrics{
-		Benchmark: k.Name(),
+		Benchmark: name,
 		Config:    g.SMs[0].Pol.Name(),
 		Cycles:    cycles,
 	}

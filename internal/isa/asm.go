@@ -1,7 +1,9 @@
 package isa
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -13,8 +15,11 @@ import (
 // Format:
 //
 //	; comments run to end of line (// also works)
-//	.kernel NAME        kernel name
+//	.kernel NAME        kernel name ([A-Za-z0-9._-]+)
 //	.regs N             minimum register allocation (optional)
+//	.warps N            launch directive: warps per CTA (optional)
+//	.shmem N            launch directive: shared-memory bytes per CTA
+//	.grid N             launch directive: default grid size in CTAs
 //	label:              label at the next instruction
 //	  MOV R0, #5        immediate forms use #
 //	  IADD R3, R1, R2
@@ -24,6 +29,70 @@ import (
 //	  @R2 BRA label diverge        forward divergent branch
 //	  BAR
 //	  EXIT
+//
+// Launch directives describe the launch geometry of a user-supplied
+// program; they are not part of the Program itself (EmitAsm does not
+// render them) and surface through AssembleLaunch for the workload
+// ingestion layer. The grammar is hardened for untrusted input: every
+// parse failure is an *AsmError carrying the 1-based line (and column,
+// when the offending token can be located), attribute values are
+// bounds-checked, and no input can panic the assembler (the fuzz target
+// FuzzAssemble pins this).
+
+// MaxSourceBytes bounds the assembly source Assemble accepts, so untrusted
+// network input cannot drive unbounded allocation. 1 MiB of source is far
+// beyond any realistic kernel (the largest Table II benchmark emits < 1 KiB).
+const MaxSourceBytes = 1 << 20
+
+// AsmError is the structured error every assembly failure resolves to.
+// Line and Col are 1-based; zero means "unknown" (e.g. whole-program
+// validation failures that are not tied to a single source line).
+type AsmError struct {
+	Line int
+	Col  int
+	Msg  string
+	err  error
+}
+
+// Error renders the position-prefixed message.
+func (e *AsmError) Error() string {
+	switch {
+	case e.Line > 0 && e.Col > 0:
+		return fmt.Sprintf("isa: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("isa: line %d: %s", e.Line, e.Msg)
+	default:
+		return "isa: " + e.Msg
+	}
+}
+
+// Unwrap exposes the underlying cause (e.g. ErrInvalidProgram).
+func (e *AsmError) Unwrap() error { return e.err }
+
+// tokenError is an internal parse error that remembers the offending token
+// so the top-level Assemble loop can recover its column in the raw line.
+type tokenError struct {
+	tok string
+	msg string
+}
+
+func (e *tokenError) Error() string { return e.msg }
+
+func errTok(tok, format string, args ...any) error {
+	return &tokenError{tok: tok, msg: fmt.Sprintf(format, args...)}
+}
+
+// Launch carries the launch-geometry directives of an assembled program.
+// Fields are zero when the corresponding directive is absent; the workload
+// layer applies defaults and range checks against the simulated GPU config.
+type Launch struct {
+	// WarpsPerCTA is the .warps directive (warps per CTA).
+	WarpsPerCTA int
+	// SharedMem is the .shmem directive (shared-memory bytes per CTA).
+	SharedMem int
+	// GridCTAs is the .grid directive (default grid size in CTAs).
+	GridCTAs int
+}
 
 // EmitAsm renders a program in the assembly format accepted by Assemble.
 // Branch targets become generated labels (L<pc>).
@@ -122,24 +191,55 @@ func emitMem(m *MemDesc) string {
 	return sb.String()
 }
 
-// Assemble parses the assembly format into a validated Program.
+// Assemble parses the assembly format into a validated Program. Every
+// failure is an *AsmError.
 func Assemble(text string) (*Program, error) {
+	p, _, err := AssembleLaunch(text)
+	return p, err
+}
+
+// AssembleLaunch is Assemble plus the launch directives (.warps/.shmem/
+// .grid) the source declares, for callers that ingest whole workloads
+// rather than bare programs.
+func AssembleLaunch(text string) (*Program, Launch, error) {
+	if len(text) > MaxSourceBytes {
+		return nil, Launch{}, &AsmError{Msg: fmt.Sprintf("source too large: %d bytes (max %d)", len(text), MaxSourceBytes)}
+	}
 	a := &assembler{b: NewBuilder("kernel")}
 	for lineNo, raw := range strings.Split(text, "\n") {
 		if err := a.line(raw); err != nil {
-			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+			return nil, Launch{}, positioned(lineNo+1, raw, err)
 		}
 	}
 	if a.name != "" {
 		a.b.name = a.name
 	}
-	return a.b.Build(a.minRegs)
+	p, err := a.b.Build(a.minRegs)
+	if err != nil {
+		return nil, Launch{}, &AsmError{Msg: err.Error(), err: err}
+	}
+	return p, a.launch, nil
+}
+
+// positioned wraps a per-line parse error into an *AsmError, recovering the
+// column of the offending token when the inner error recorded one.
+func positioned(line int, raw string, err error) *AsmError {
+	var te *tokenError
+	if errors.As(err, &te) {
+		col := 0
+		if i := strings.Index(raw, te.tok); i >= 0 && te.tok != "" {
+			col = i + 1
+		}
+		return &AsmError{Line: line, Col: col, Msg: te.msg, err: err}
+	}
+	return &AsmError{Line: line, Msg: err.Error(), err: err}
 }
 
 type assembler struct {
 	b       *Builder
 	name    string
 	minRegs int
+	launch  Launch
 }
 
 func (a *assembler) line(raw string) error {
@@ -155,21 +255,82 @@ func (a *assembler) line(raw string) error {
 		return nil
 	}
 	switch {
-	case strings.HasPrefix(line, ".kernel"):
-		a.name = strings.TrimSpace(strings.TrimPrefix(line, ".kernel"))
-		return nil
-	case strings.HasPrefix(line, ".regs"):
-		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".regs")))
-		if err != nil {
-			return fmt.Errorf("bad .regs: %w", err)
-		}
-		a.minRegs = n
-		return nil
+	case strings.HasPrefix(line, "."):
+		return a.directive(line)
 	case strings.HasSuffix(line, ":"):
 		a.b.Label(strings.TrimSuffix(line, ":"))
 		return nil
 	}
 	return a.instr(line)
+}
+
+// directive parses a "." header line (.kernel/.regs/.warps/.shmem/.grid).
+func (a *assembler) directive(line string) error {
+	name, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	num := func(what string, min, max int) (int, error) {
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return 0, errTok(rest, "bad %s %q: want an integer", what, rest)
+		}
+		if n < min || n > max {
+			return 0, errTok(rest, "%s %d out of range [%d,%d]", what, n, min, max)
+		}
+		return n, nil
+	}
+	switch name {
+	case ".kernel":
+		if !validKernelName(rest) {
+			return errTok(rest, "bad kernel name %q: want 1-64 chars of [A-Za-z0-9._-]", rest)
+		}
+		a.name = rest
+		return nil
+	case ".regs":
+		n, err := num(".regs", 0, MaxRegs)
+		if err != nil {
+			return err
+		}
+		a.minRegs = n
+		return nil
+	case ".warps":
+		n, err := num(".warps", 1, 64)
+		if err != nil {
+			return err
+		}
+		a.launch.WarpsPerCTA = n
+		return nil
+	case ".shmem":
+		n, err := num(".shmem", 0, 1<<24)
+		if err != nil {
+			return err
+		}
+		a.launch.SharedMem = n
+		return nil
+	case ".grid":
+		n, err := num(".grid", 1, 1<<22)
+		if err != nil {
+			return err
+		}
+		a.launch.GridCTAs = n
+		return nil
+	default:
+		return errTok(name, "unknown directive %q", name)
+	}
+}
+
+func validKernelName(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // instr parses one instruction line.
@@ -178,7 +339,7 @@ func (a *assembler) instr(line string) error {
 	if strings.HasPrefix(line, "@") {
 		sp := strings.IndexByte(line, ' ')
 		if sp < 0 {
-			return fmt.Errorf("dangling predicate %q", line)
+			return errTok(line, "dangling predicate %q", line)
 		}
 		r, err := parseReg(line[1:sp])
 		if err != nil {
@@ -189,12 +350,19 @@ func (a *assembler) instr(line string) error {
 	}
 	mnemonic, rest, _ := strings.Cut(line, " ")
 	rest = strings.TrimSpace(rest)
+	mnemonic = strings.ToUpper(mnemonic)
 	ops, kv, err := splitOperands(rest)
 	if err != nil {
 		return err
 	}
+	if err := checkAttrs(mnemonic, kv); err != nil {
+		return err
+	}
+	if pred != RegNone && mnemonic != "BRA" {
+		return errTok(mnemonic, "predicate is only supported on BRA, not %s", mnemonic)
+	}
 
-	switch strings.ToUpper(mnemonic) {
+	switch mnemonic {
 	case "NOP":
 		a.b.Nop()
 	case "BAR":
@@ -213,12 +381,12 @@ func (a *assembler) instr(line string) error {
 			a.b.BraCond(pred, ops[0], trip, diverge)
 		}
 	case "MOV":
+		if len(ops) != 2 {
+			return fmt.Errorf("MOV wants 2 operands, got %v", ops)
+		}
 		dst, err := parseReg(ops[0])
 		if err != nil {
 			return err
-		}
-		if len(ops) != 2 {
-			return fmt.Errorf("MOV wants 2 operands, got %v", ops)
 		}
 		if imm, ok := parseImm(ops[1]); ok {
 			a.b.MovI(dst, imm)
@@ -250,7 +418,7 @@ func (a *assembler) instr(line string) error {
 		}
 		imm, ok := parseImm(ops[2])
 		if !ok {
-			return fmt.Errorf("SHF wants an immediate shift, got %q", ops[2])
+			return errTok(ops[2], "SHF wants an immediate shift, got %q", ops[2])
 		}
 		a.b.Shf(dst, srcA, imm)
 	case "IMUL", "ISETP", "FADD", "FMUL":
@@ -262,7 +430,7 @@ func (a *assembler) instr(line string) error {
 		if err != nil {
 			return err
 		}
-		switch strings.ToUpper(mnemonic) {
+		switch mnemonic {
 		case "IMUL":
 			a.b.IMul(dst, srcA, srcB)
 		case "ISETP":
@@ -310,7 +478,7 @@ func (a *assembler) instr(line string) error {
 		if err != nil {
 			return err
 		}
-		if strings.ToUpper(mnemonic) == "LDG" {
+		if mnemonic == "LDG" {
 			a.b.Ldg(dst, addr, memFromKV(kv))
 		} else {
 			a.b.Lds(dst, addr)
@@ -327,13 +495,13 @@ func (a *assembler) instr(line string) error {
 		if err != nil {
 			return err
 		}
-		if strings.ToUpper(mnemonic) == "STG" {
+		if mnemonic == "STG" {
 			a.b.Stg(val, addr, memFromKV(kv))
 		} else {
 			a.b.Sts(val, addr)
 		}
 	default:
-		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+		return errTok(mnemonic, "unknown mnemonic %q", mnemonic)
 	}
 	return nil
 }
@@ -348,12 +516,12 @@ func splitOperands(rest string) (ops []string, kv map[string]int64, err error) {
 		if k, v, ok := strings.Cut(f, "="); ok {
 			n, perr := strconv.ParseInt(v, 10, 64)
 			if perr != nil && k != "pattern" {
-				return nil, nil, fmt.Errorf("bad attribute %q: %w", f, perr)
+				return nil, nil, errTok(f, "bad attribute %q: %v", f, perr)
 			}
 			if k == "pattern" {
 				n, perr = patternCode(v)
 				if perr != nil {
-					return nil, nil, perr
+					return nil, nil, errTok(f, "%v", perr)
 				}
 			}
 			kv[k] = n
@@ -371,6 +539,47 @@ func splitOperands(rest string) (ops []string, kv map[string]int64, err error) {
 		}
 	}
 	return ops, kv, nil
+}
+
+// allowedAttrs whitelists the key=value attributes each mnemonic accepts;
+// attrBounds range-checks the values so untrusted input cannot smuggle
+// truncating or negative descriptors into the timing model.
+var allowedAttrs = map[string]map[string]bool{
+	"BRA": {"trip": true, "diverge": true},
+	"LDG": {"pattern": true, "stride": true, "region": true, "footprint": true},
+	"STG": {"pattern": true, "stride": true, "region": true, "footprint": true},
+}
+
+var attrBounds = map[string]struct{ min, max int64 }{
+	"trip":      {0, 1 << 30},
+	"diverge":   {1, 1},
+	"pattern":   {0, int64(PatBroadcast)},
+	"stride":    {0, 1 << 20},
+	"region":    {0, 255},
+	"footprint": {0, 1 << 40},
+}
+
+func checkAttrs(mnemonic string, kv map[string]int64) error {
+	if len(kv) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	allowed := allowedAttrs[mnemonic]
+	for _, k := range keys {
+		if !allowed[k] {
+			return errTok(k, "attribute %q not allowed on %s", k, mnemonic)
+		}
+		if b, ok := attrBounds[k]; ok {
+			if v := kv[k]; v < b.min || v > b.max {
+				return errTok(k, "attribute %s=%d out of range [%d,%d]", k, v, b.min, b.max)
+			}
+		}
+	}
+	return nil
 }
 
 func patternCode(s string) (int64, error) {
@@ -403,11 +612,11 @@ func parseReg(s string) (Reg, error) {
 		return RegNone, nil
 	}
 	if len(s) < 2 || (s[0] != 'R' && s[0] != 'r') {
-		return RegNone, fmt.Errorf("bad register %q", s)
+		return RegNone, errTok(s, "bad register %q", s)
 	}
 	n, err := strconv.Atoi(s[1:])
 	if err != nil || n < 0 || n >= MaxRegs {
-		return RegNone, fmt.Errorf("bad register %q", s)
+		return RegNone, errTok(s, "bad register %q", s)
 	}
 	return Reg(n), nil
 }
@@ -425,8 +634,8 @@ func parseImm(s string) (uint32, bool) {
 
 func parseAddr(s string) (Reg, error) {
 	s = strings.TrimSpace(s)
-	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
-		return RegNone, fmt.Errorf("bad address operand %q", s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") || len(s) < 2 {
+		return RegNone, errTok(s, "bad address operand %q", s)
 	}
 	return parseReg(s[1 : len(s)-1])
 }

@@ -1,0 +1,171 @@
+package isa
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble pins the admission-hardening contract of the assembler:
+// arbitrary bytes never panic, never allocate unboundedly (MaxSourceBytes
+// rejects oversized input up front), every failure is a structured
+// *AsmError, and every accepted program round-trips exactly through
+// EmitAsm → Assemble.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"EXIT",
+		"MOV",    // regression: used to index ops[0] before the arity check
+		"MOV R0", // one operand
+		"MOV R0, #1\nEXIT",
+		".kernel demo\n.regs 12\n.warps 4\n.shmem 2048\n.grid 64\nMOV R0, #0\nEXIT",
+		"top:\n  IADD R0, R0, #1\n  ISETP R1, R0, R2\n  @R1 BRA top trip=8\n  EXIT",
+		"LDG R2, [R0] pattern=strided stride=4 region=1 footprint=1048576\nEXIT",
+		"STG [R0], R3 region=255\nEXIT",
+		"@R1 BRA skip diverge\nNOP\nskip:\nEXIT",
+		"LDG R1, [R0] footprint=-1\nEXIT",       // negative attribute
+		"LDG R1, [R0] region=300\nEXIT",         // would truncate via uint8
+		"BRA back trip=99999999999999999\nEXIT", // attribute overflow
+		"@R1\nEXIT",                             // dangling predicate
+		".kernel bad name\nEXIT",
+		".grid 0\nEXIT",
+		"FFMA R1, R2, R3\nEXIT",
+		"SHF R1, R0, R2\nEXIT",
+		"\x00\xff MOV , , ,",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, launch, err := AssembleLaunch(src)
+		if err != nil {
+			var ae *AsmError
+			if !errors.As(err, &ae) {
+				t.Fatalf("error is not *AsmError: %T %v", err, err)
+			}
+			if p != nil {
+				t.Fatalf("non-nil program alongside error %v", err)
+			}
+			return
+		}
+		// Accepted programs must satisfy the validator the simulator trusts.
+		if verr := Validate(p); verr != nil {
+			t.Fatalf("assembled program fails Validate: %v\nsource:\n%s", verr, src)
+		}
+		if launch.WarpsPerCTA < 0 || launch.SharedMem < 0 || launch.GridCTAs < 0 {
+			t.Fatalf("negative launch geometry %+v", launch)
+		}
+		// asm → disasm → asm must reproduce the program exactly.
+		emitted := EmitAsm(p)
+		p2, err := Assemble(emitted)
+		if err != nil {
+			t.Fatalf("re-assembling emitted asm failed: %v\nemitted:\n%s", err, emitted)
+		}
+		if p.Name != p2.Name || p.RegsPerThread != p2.RegsPerThread || !reflect.DeepEqual(p.Instrs, p2.Instrs) {
+			t.Fatalf("round-trip mismatch\noriginal: %+v\nreparsed: %+v\nemitted:\n%s", p, p2, emitted)
+		}
+	})
+}
+
+// TestAssembleNoPanicOnShortOperands locks in the arity checks for every
+// mnemonic: missing operands must produce an error, not an index panic.
+func TestAssembleNoPanicOnShortOperands(t *testing.T) {
+	mnemonics := []string{
+		"MOV", "IADD", "IMUL", "ISETP", "SHF", "FADD", "FMUL", "FFMA",
+		"MUFU", "LDG", "LDS", "STG", "STS", "BRA",
+	}
+	suffixes := []string{"", " R0", " R0,", " [R0]", " R0, R1, R2, R3, R4"}
+	for _, m := range mnemonics {
+		for _, suf := range suffixes {
+			src := m + suf + "\nEXIT"
+			p, err := Assemble(src)
+			if err == nil && p == nil {
+				t.Errorf("Assemble(%q): nil program with nil error", src)
+			}
+			// Most of these are malformed; the point is no panic and a
+			// structured error when rejected.
+			if err != nil {
+				var ae *AsmError
+				if !errors.As(err, &ae) {
+					t.Errorf("Assemble(%q): error is not *AsmError: %v", src, err)
+				}
+			}
+		}
+	}
+}
+
+// TestAsmErrorPositions checks that structured errors carry usable
+// line/column information for the serve layer's 400 bodies.
+func TestAsmErrorPositions(t *testing.T) {
+	src := ".kernel demo\n  MOV R0, #0\n  MOV R99, #1\n  EXIT"
+	_, err := Assemble(src)
+	var ae *AsmError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *AsmError, got %T %v", err, err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("Line = %d, want 3", ae.Line)
+	}
+	if ae.Col != strings.Index("  MOV R99, #1", "R99")+1 {
+		t.Errorf("Col = %d, want column of R99", ae.Col)
+	}
+	if !strings.Contains(ae.Msg, "R99") {
+		t.Errorf("Msg = %q, want mention of R99", ae.Msg)
+	}
+}
+
+// TestAssembleSourceCap rejects oversized input before any parsing work.
+func TestAssembleSourceCap(t *testing.T) {
+	_, err := Assemble(strings.Repeat("; filler\n", MaxSourceBytes/8))
+	var ae *AsmError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *AsmError for oversized source, got %v", err)
+	}
+	if ae.Line != 0 {
+		t.Errorf("size-cap error should not carry a line, got %d", ae.Line)
+	}
+}
+
+// TestAssembleLaunchDirectives parses the launch geometry header.
+func TestAssembleLaunchDirectives(t *testing.T) {
+	src := ".kernel lg\n.warps 6\n.shmem 4096\n.grid 128\nMOV R0, #1\nEXIT"
+	p, launch, err := AssembleLaunch(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "lg" {
+		t.Errorf("name = %q", p.Name)
+	}
+	want := Launch{WarpsPerCTA: 6, SharedMem: 4096, GridCTAs: 128}
+	if launch != want {
+		t.Errorf("launch = %+v, want %+v", launch, want)
+	}
+	// Assemble must accept the same source and simply drop the geometry.
+	if _, err := Assemble(src); err != nil {
+		t.Errorf("Assemble rejects launch directives: %v", err)
+	}
+}
+
+// TestAssembleRejectsHostileAttributes pins the attribute bounds that keep
+// untrusted descriptors out of the timing model.
+func TestAssembleRejectsHostileAttributes(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"negative-footprint", "LDG R1, [R0] footprint=-1\nEXIT"},
+		{"region-truncation", "LDG R1, [R0] region=300\nEXIT"},
+		{"negative-stride", "LDG R1, [R0] stride=-4\nEXIT"},
+		{"trip-overflow", "ISETP R1, R0, R0\nl:\n@R1 BRA l trip=99999999999\nEXIT"},
+		{"attr-on-wrong-op", "MOV R0, #1 trip=4\nEXIT"},
+		{"pred-on-non-bra", "@R1 MOV R0, #1\nEXIT"},
+		{"unknown-directive", ".frobnicate 3\nEXIT"},
+		{"grid-zero", ".grid 0\nEXIT"},
+		{"warps-huge", ".warps 1000\nEXIT"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Errorf("Assemble accepted %q", c.src)
+			}
+		})
+	}
+}

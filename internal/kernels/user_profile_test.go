@@ -1,0 +1,42 @@
+package kernels
+
+import "testing"
+
+// TestUserProfileClassification pins the occupancy math for user-shaped
+// profiles (sparse fields: just warps/regs/shmem, no instruction mix) —
+// what workload.Load derives from a .sasm program's launch geometry,
+// classified under the same Table I limits as the built-in benchmarks.
+func TestUserProfileClassification(t *testing.T) {
+	lean := Profile{Abbrev: "u1", WarpsPerCTA: 2, Regs: 12}
+	if got := lean.Classify(tableILimits); got != TypeS {
+		t.Errorf("lean user kernel classified %v, want TypeS", got)
+	}
+	fat := Profile{Abbrev: "u2", WarpsPerCTA: 8, Regs: 64}
+	if got := fat.Classify(tableILimits); got != TypeR {
+		t.Errorf("register-hungry user kernel classified %v, want TypeR", got)
+	}
+	ctas, lim := fat.Occupancy(tableILimits)
+	if lim != LimitRegFile || ctas != 4 {
+		t.Errorf("fat occupancy = %d (%s), want 4 (register-file)", ctas, lim)
+	}
+}
+
+// TestBuildDefaultGrid: Build with gridCTAs <= 0 falls back to the
+// profile's reference grid — the contract the workload bench path relies
+// on when a Program names a benchmark without a grid override.
+func TestBuildDefaultGrid(t *testing.T) {
+	p, err := ProfileByName("CS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Build(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.GridCTAs != p.GridCTAs {
+		t.Errorf("default grid %d, want profile reference %d", k.GridCTAs, p.GridCTAs)
+	}
+	if k2 := MustBuild(p, 7); k2.GridCTAs != 7 {
+		t.Errorf("explicit grid %d, want 7", k2.GridCTAs)
+	}
+}

@@ -1,0 +1,70 @@
+package liveness
+
+import (
+	"reflect"
+	"testing"
+
+	"finereg/internal/isa"
+)
+
+const userSource = `.kernel user
+.regs 12
+  MOV R0, #0
+  MOV R1, #16
+  MOV R2, #2
+loop:
+  LDG R3, [R0] pattern=coalesced region=1 footprint=1048576
+  FFMA R5, R2, R3, R5
+  IADD R0, R0, #1
+  ISETP R6, R0, R1
+  @R6 BRA loop trip=16
+  STG [R0], R5 region=15
+  EXIT
+`
+
+// TestAnalyzeUserProgram covers the ingestion path's compiler half: a
+// user-assembled program (not a generator-built one) must analyze
+// deterministically, and the live sets must survive an asm → disasm → asm
+// round trip — the bit vectors the RMU consumes depend only on program
+// semantics, never on which text produced them.
+func TestAnalyzeUserProgram(t *testing.T) {
+	prog, err := isa.Assemble(userSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.MaxLive() < 1 || info.MaxLive() > prog.RegsPerThread {
+		t.Errorf("max live %d outside [1, %d]", info.MaxLive(), prog.RegsPerThread)
+	}
+	// The loop-carried values (R0 cursor, R1 bound, R2 scale, R5
+	// accumulator) are live at the loop head — what a stalled warp parked
+	// there must preserve.
+	head := 3 // pc of the first loop instruction
+	for _, r := range []isa.Reg{0, 1, 2, 5} {
+		if !info.At(head).Has(r) {
+			t.Errorf("R%d not live at loop head %d: %v", r, head, info.At(head))
+		}
+	}
+
+	again := MustAnalyze(prog)
+	if !reflect.DeepEqual(info.At(0), again.At(0)) || info.MaxLive() != again.MaxLive() {
+		t.Error("repeated analysis of the same program diverged")
+	}
+
+	rt, err := isa.Assemble(isa.EmitAsm(prog))
+	if err != nil {
+		t.Fatalf("round-trip assemble: %v", err)
+	}
+	rtInfo, err := Analyze(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pc := 0; pc < prog.Len(); pc++ {
+		if info.At(pc) != rtInfo.At(pc) {
+			t.Errorf("pc %d: live set changed across asm round trip: %v vs %v", pc, info.At(pc), rtInfo.At(pc))
+		}
+	}
+}

@@ -16,11 +16,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"finereg/internal/gpu"
 	"finereg/internal/kernels"
 	"finereg/internal/stats"
 	"finereg/internal/trace"
+	"finereg/internal/workload"
 )
 
 // SimFingerprint versions the simulator's observable semantics. It is part
@@ -49,10 +51,10 @@ import (
 // so sharded and serial runs share cache entries.
 const SimFingerprint = "finereg-sim-v4"
 
-// Job is one schedulable simulation: a machine configuration, a kernel
-// profile and grid, a policy, and instrumentation flags. The zero-value
-// fields all participate in the key, so two Jobs with equal exported
-// fields are the same point.
+// Job is one schedulable simulation: a machine configuration, a workload
+// (either a kernel profile + grid, or user-supplied Programs), a policy,
+// and instrumentation flags. The zero-value fields all participate in the
+// key, so two Jobs with equal exported fields are the same point.
 type Job struct {
 	Cfg     gpu.Config
 	Profile kernels.Profile
@@ -64,17 +66,50 @@ type Job struct {
 	// Metrics.Stalls carries the verified breakdown.
 	Stalls bool
 
+	// Programs, when non-empty, is the job's workload instead of
+	// Profile/Grid: user .sasm source or bench references lowered through
+	// internal/workload. One program on an unpartitioned machine is a
+	// plain run; several programs run as an in-order stream; with
+	// Cfg.Partitions set, exactly one program per partition runs
+	// concurrently MPS-style. The program text is hashed into the job key,
+	// so a job's cache identity changes iff its programs change.
+	Programs []workload.Program
+
 	// Label is a human-readable tag for progress lines and errors; it is
 	// NOT part of the key.
 	Label string
 }
 
-// label returns Label or a synthesized bench/policy tag.
+// label returns Label or a synthesized workload/policy tag.
 func (j *Job) label() string {
 	if j.Label != "" {
 		return j.Label
 	}
+	if len(j.Programs) > 0 {
+		names := make([]string, len(j.Programs))
+		for i, p := range j.Programs {
+			if p.Bench != "" {
+				names[i] = p.Bench
+			} else {
+				names[i] = "user"
+			}
+		}
+		return strings.Join(names, "+") + "/" + j.Policy.Name()
+	}
 	return j.Profile.Abbrev + "/" + j.Policy.Name()
+}
+
+// limits derives the occupancy-classification limits from the job's SM
+// configuration (used to label user programs Type-S vs Type-R).
+func (j *Job) limits() kernels.Limits {
+	smc := &j.Cfg.SM
+	return kernels.Limits{
+		MaxCTAs:        smc.MaxCTAs,
+		MaxWarps:       smc.MaxWarps,
+		MaxThreads:     smc.MaxThreads,
+		RegFileBytes:   smc.RegFileBytes,
+		SharedMemBytes: smc.SharedMemBytes,
+	}
 }
 
 // Key returns the content-addressed identity of the job: the hex SHA-256
@@ -84,14 +119,15 @@ func (j *Job) label() string {
 // for a given simulator version.
 func (j *Job) Key(fingerprint string) string {
 	payload := struct {
-		Fingerprint string          `json:"fingerprint"`
-		Cfg         gpu.Config      `json:"cfg"`
-		Profile     kernels.Profile `json:"profile"`
-		Grid        int             `json:"grid"`
-		Policy      PolicySpec      `json:"policy"`
-		TrackReg    bool            `json:"track_reg"`
-		Stalls      bool            `json:"stalls"`
-	}{fingerprint, j.Cfg, j.Profile, j.Grid, j.Policy, j.TrackReg, j.Stalls}
+		Fingerprint string             `json:"fingerprint"`
+		Cfg         gpu.Config         `json:"cfg"`
+		Profile     kernels.Profile    `json:"profile"`
+		Grid        int                `json:"grid"`
+		Policy      PolicySpec         `json:"policy"`
+		TrackReg    bool               `json:"track_reg"`
+		Stalls      bool               `json:"stalls"`
+		Programs    []workload.Program `json:"programs,omitempty"`
+	}{fingerprint, j.Cfg, j.Profile, j.Grid, j.Policy, j.TrackReg, j.Stalls, j.Programs}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		// All field types are plain values; failure here is a programming
@@ -107,6 +143,10 @@ func (j *Job) Key(fingerprint string) string {
 // the metrics and the machine size).
 type Result struct {
 	Metrics *stats.Metrics
+	// Segments holds per-kernel metrics for multi-kernel jobs (streams and
+	// partitioned concurrent runs) in submission order; Metrics is then
+	// the combined rollup.
+	Segments []*stats.Metrics `json:",omitempty"`
 	// Windows holds the Figure 5 register-usage fractions when TrackReg
 	// was set.
 	Windows []float64 `json:",omitempty"`
@@ -120,6 +160,9 @@ func (r *Result) Clone() *Result {
 		return nil
 	}
 	c := &Result{Metrics: r.Metrics.Clone()}
+	for _, s := range r.Segments {
+		c.Segments = append(c.Segments, s.Clone())
+	}
 	if r.Windows != nil {
 		c.Windows = append([]float64(nil), r.Windows...)
 	}
@@ -141,7 +184,14 @@ func execute(j *Job, attach func(*gpu.GPU)) (*Result, error) {
 	}
 	cfg := j.Cfg
 	cfg.SM.TrackRegUsage = j.TrackReg
-	k, err := kernels.Build(j.Profile, j.Grid)
+	var ks []*kernels.Kernel
+	if len(j.Programs) > 0 {
+		ks, err = workload.LoadAll(j.Programs, j.limits())
+	} else {
+		var k *kernels.Kernel
+		k, err = kernels.Build(j.Profile, j.Grid)
+		ks = []*kernels.Kernel{k}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -154,17 +204,33 @@ func execute(j *Job, attach func(*gpu.GPU)) (*Result, error) {
 		agg = trace.NewStallAggregator()
 		machine.SetTrace(agg)
 	}
-	m, err := machine.Run(k)
-	if err != nil {
-		return nil, err
+	res := &Result{}
+	switch {
+	case len(cfg.Partitions) > 0:
+		mr, err := machine.RunConcurrent(ks...)
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics, res.Segments = mr.Total, mr.Segments
+	case len(ks) > 1:
+		mr, err := machine.RunStream(ks...)
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics, res.Segments = mr.Total, mr.Segments
+	default:
+		m, err := machine.Run(ks[0])
+		if err != nil {
+			return nil, err
+		}
+		res.Metrics = m
 	}
-	res := &Result{Metrics: m}
 	if agg != nil {
 		bd := agg.Breakdown()
 		if err := bd.Check(); err != nil {
 			return nil, fmt.Errorf("stall accounting: %w", err)
 		}
-		m.Stalls = bd
+		res.Metrics.Stalls = bd
 	}
 	if j.TrackReg {
 		res.Windows = machine.RegWindowFracs()

@@ -3,7 +3,10 @@ package runner
 import (
 	"fmt"
 
+	"finereg/internal/gpu"
+	"finereg/internal/kernels"
 	"finereg/internal/mem"
+	"finereg/internal/workload"
 )
 
 // Validate checks that the job is well-formed enough to admit into a batch:
@@ -13,14 +16,73 @@ import (
 // and must reject garbage with a 400 instead of burning a worker on a
 // panic, but it is equally useful before submitting a long batch.
 //
-// Validation is deliberately cheap — no kernel is generated, no machine
-// built — so it can run on every admission. A job that passes may still
-// fail at run time (kernels.Build has deeper structural checks); a job
-// that fails is guaranteed not to simulate.
+// Validation is deliberately cheap for profile jobs — no kernel is
+// generated, no machine built — so it can run on every admission.
+// Program jobs pay for a full assemble/validate/liveness pass (the point:
+// malformed source must be rejected here, with the assembler's structured
+// line/column error, never inside a worker), but never build a machine.
+// A job that passes may still fail at run time; a job that fails is
+// guaranteed not to simulate.
 func (j *Job) Validate() error {
 	if _, err := j.Policy.Factory(); err != nil {
 		return fmt.Errorf("runner: invalid job policy: %w", err)
 	}
+	if len(j.Programs) > 0 {
+		if err := j.validatePrograms(); err != nil {
+			return err
+		}
+	} else {
+		if len(j.Cfg.Partitions) > 0 {
+			return fmt.Errorf("runner: a partitioned job must carry programs (one per partition), not a profile")
+		}
+		if err := j.validateProfile(); err != nil {
+			return err
+		}
+	}
+	return j.validateMachine()
+}
+
+// validatePrograms admits a Programs workload: every program must
+// assemble and validate (so untrusted network input 400s at admission
+// instead of panicking a worker), fit the configured SM, and — when the
+// machine is partitioned — match the partition count one-to-one.
+func (j *Job) validatePrograms() error {
+	if j.Profile != (kernels.Profile{}) || j.Grid != 0 {
+		return fmt.Errorf("runner: a job carries either programs or a profile/grid, not both")
+	}
+	if len(j.Programs) > 1 && (j.Stalls || j.TrackReg) {
+		return fmt.Errorf("runner: stall attribution and register tracking apply to single-kernel jobs only")
+	}
+	if parts := j.Cfg.Partitions; len(parts) > 0 && len(j.Programs) != len(parts) {
+		return fmt.Errorf("runner: %d programs for %d partitions (concurrent jobs need exactly one program per partition)", len(j.Programs), len(parts))
+	}
+	ks, err := workload.LoadAll(j.Programs, j.limits())
+	if err != nil {
+		// Keep the *workload.Error in the chain: the serving layer
+		// extracts its field/line/column for structured 400 bodies.
+		return fmt.Errorf("runner: %w", err)
+	}
+	smc := &j.Cfg.SM
+	for i, k := range ks {
+		p := &k.Profile
+		if p.WarpsPerCTA > smc.MaxWarps {
+			return fmt.Errorf("runner: program %d (%s) needs %d warps/CTA, SM has %d slots",
+				i, p.Abbrev, p.WarpsPerCTA, smc.MaxWarps)
+		}
+		if p.ThreadsPerCTA() > smc.MaxThreads {
+			return fmt.Errorf("runner: program %d (%s) needs %d threads/CTA, SM has %d",
+				i, p.Abbrev, p.ThreadsPerCTA(), smc.MaxThreads)
+		}
+		if p.SharedMem > smc.SharedMemBytes {
+			return fmt.Errorf("runner: program %d (%s) needs %d B shared memory/CTA, SM has %d",
+				i, p.Abbrev, p.SharedMem, smc.SharedMemBytes)
+		}
+	}
+	return nil
+}
+
+// validateProfile admits a classic profile/grid workload.
+func (j *Job) validateProfile() error {
 	p := &j.Profile
 	if p.Abbrev == "" {
 		return fmt.Errorf("runner: profile has no abbreviation")
@@ -42,7 +104,26 @@ func (j *Job) Validate() error {
 	if j.Grid > maxGrid {
 		return fmt.Errorf("runner: grid %d exceeds the %d-CTA guard", j.Grid, maxGrid)
 	}
+	smc := &j.Cfg.SM
+	// A single CTA of this kernel must be schedulable at all.
+	if p.WarpsPerCTA > smc.MaxWarps {
+		return fmt.Errorf("runner: profile %s needs %d warps/CTA, SM has %d slots",
+			p.Abbrev, p.WarpsPerCTA, smc.MaxWarps)
+	}
+	if p.ThreadsPerCTA() > smc.MaxThreads {
+		return fmt.Errorf("runner: profile %s needs %d threads/CTA, SM has %d",
+			p.Abbrev, p.ThreadsPerCTA(), smc.MaxThreads)
+	}
+	if p.SharedMem > smc.SharedMemBytes {
+		return fmt.Errorf("runner: profile %s needs %d B shared memory/CTA, SM has %d",
+			p.Abbrev, p.SharedMem, smc.SharedMemBytes)
+	}
+	return nil
+}
 
+// validateMachine checks the machine geometry shared by both workload
+// kinds.
+func (j *Job) validateMachine() error {
 	cfg := &j.Cfg
 	if cfg.NumSMs < 1 || cfg.NumSMs > 4096 {
 		return fmt.Errorf("runner: NumSMs %d outside [1, 4096]", cfg.NumSMs)
@@ -59,18 +140,10 @@ func (j *Job) Validate() error {
 		return fmt.Errorf("runner: SM memory sizes invalid (regfile=%d shared=%d)",
 			smc.RegFileBytes, smc.SharedMemBytes)
 	}
-	// A single CTA of this kernel must be schedulable at all.
-	if p.WarpsPerCTA > smc.MaxWarps {
-		return fmt.Errorf("runner: profile %s needs %d warps/CTA, SM has %d slots",
-			p.Abbrev, p.WarpsPerCTA, smc.MaxWarps)
-	}
-	if p.ThreadsPerCTA() > smc.MaxThreads {
-		return fmt.Errorf("runner: profile %s needs %d threads/CTA, SM has %d",
-			p.Abbrev, p.ThreadsPerCTA(), smc.MaxThreads)
-	}
-	if p.SharedMem > smc.SharedMemBytes {
-		return fmt.Errorf("runner: profile %s needs %d B shared memory/CTA, SM has %d",
-			p.Abbrev, p.SharedMem, smc.SharedMemBytes)
+	// Partition specs must be well-formed before gpu.New sees them (New
+	// panics on violation by contract — admission is the guard).
+	if err := gpu.ValidatePartitions(cfg.NumSMs, cfg.Partitions); err != nil {
+		return fmt.Errorf("runner: %w", err)
 	}
 	// Cache geometries must be constructible (sm.New panics otherwise).
 	if _, err := mem.NewCache(smc.L1Bytes, smc.L1Ways); err != nil {

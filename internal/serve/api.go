@@ -7,6 +7,7 @@ import (
 	"finereg/internal/kernels"
 	"finereg/internal/runner"
 	"finereg/internal/trace"
+	"finereg/internal/workload"
 )
 
 // This file is the service's wire vocabulary: the JSON request/response
@@ -34,8 +35,16 @@ type JobRequest struct {
 	SMs int `json:"sms,omitempty"`
 	// Cfg is the full machine configuration (exact form).
 	Cfg *gpu.Config `json:"cfg,omitempty"`
+	// Programs, when non-empty, is the job's workload instead of
+	// Bench/Profile: user .sasm source or bench references (see
+	// internal/workload). Several programs form an in-order stream; with
+	// Cfg.Partitions set they run concurrently, one per partition. The
+	// program text enters the job's content-addressed key, so submitting
+	// the same source always coalesces onto the same cache entry.
+	Programs []workload.Program `json:"programs,omitempty"`
 	// Grid is the CTA count (default: the profile's reference grid scaled
-	// by SMs/16, or by GridScale when set).
+	// by SMs/16, or by GridScale when set). Ignored for Programs jobs —
+	// each program carries its own grid.
 	Grid int `json:"grid,omitempty"`
 	// GridScale scales the profile's reference grid when Grid is 0.
 	GridScale float64 `json:"grid_scale,omitempty"`
@@ -68,6 +77,13 @@ type JobRequest struct {
 func (r *JobRequest) Resolve() (*runner.Job, error) {
 	var prof kernels.Profile
 	switch {
+	case len(r.Programs) > 0:
+		if r.Profile != nil || r.Bench != "" {
+			return nil, fmt.Errorf("serve: job carries both programs and a bench/profile")
+		}
+		if r.Grid != 0 || r.GridScale != 0 {
+			return nil, fmt.Errorf("serve: programs carry their own grids; job-level grid/grid_scale do not apply")
+		}
 	case r.Profile != nil:
 		prof = *r.Profile
 	case r.Bench != "":
@@ -77,7 +93,7 @@ func (r *JobRequest) Resolve() (*runner.Job, error) {
 		}
 		prof = p
 	default:
-		return nil, fmt.Errorf("serve: job names neither bench nor profile")
+		return nil, fmt.Errorf("serve: job names neither bench nor profile nor programs")
 	}
 
 	var cfg gpu.Config
@@ -95,26 +111,27 @@ func (r *JobRequest) Resolve() (*runner.Job, error) {
 		cfg.Audit = r.Audit
 	}
 
-	grid := r.Grid
-	if grid == 0 {
-		scale := r.GridScale
-		if scale == 0 {
-			scale = float64(cfg.NumSMs) / 16
-		}
-		grid = int(float64(prof.GridCTAs)*scale + 0.5)
-		if grid < 1 {
-			grid = 1
-		}
-	}
-
 	j := &runner.Job{
 		Cfg:      cfg,
-		Profile:  prof,
-		Grid:     grid,
 		Policy:   r.Policy,
 		TrackReg: r.TrackReg,
 		Stalls:   r.Stalls,
+		Programs: r.Programs,
 		Label:    r.Label,
+	}
+	if len(r.Programs) == 0 {
+		grid := r.Grid
+		if grid == 0 {
+			scale := r.GridScale
+			if scale == 0 {
+				scale = float64(cfg.NumSMs) / 16
+			}
+			grid = int(float64(prof.GridCTAs)*scale + 0.5)
+			if grid < 1 {
+				grid = 1
+			}
+		}
+		j.Profile, j.Grid = prof, grid
 	}
 	if err := j.Validate(); err != nil {
 		return nil, err
@@ -127,6 +144,16 @@ func (r *JobRequest) Resolve() (*runner.Job, error) {
 // cache entry, and result bytes as running j in-process.
 func RequestFromJob(j *runner.Job) JobRequest {
 	cfg, prof := j.Cfg, j.Profile
+	if len(j.Programs) > 0 {
+		return JobRequest{
+			Cfg:      &cfg,
+			Policy:   j.Policy,
+			TrackReg: j.TrackReg,
+			Stalls:   j.Stalls,
+			Programs: j.Programs,
+			Label:    j.Label,
+		}
+	}
 	return JobRequest{
 		Profile:  &prof,
 		Cfg:      &cfg,
@@ -256,6 +283,14 @@ func (e *Event) Sample() trace.ProgressSample {
 // errorBody is the JSON error envelope for non-2xx responses.
 type errorBody struct {
 	Error string `json:"error"`
+	// Program/Field/Line/Col locate a workload validation failure in the
+	// request: the offending program's index, the spec field, and — for
+	// assembler failures — the 1-based source position. Omitted (zero)
+	// when the failure is not a program ingestion error.
+	Program int    `json:"program,omitempty"`
+	Field   string `json:"field,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
 	// QueueDepth/QueueCap qualify 429 load-shed responses.
 	QueueDepth int `json:"queue_depth,omitempty"`
 	QueueCap   int `json:"queue_cap,omitempty"`

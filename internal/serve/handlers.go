@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"finereg/internal/runner"
+	"finereg/internal/workload"
 )
 
 // routes wires the v1 API onto the server's mux.
@@ -51,8 +52,21 @@ func (s *Server) writeAdmitError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeBadRequest(w, err)
 	}
+}
+
+// writeBadRequest renders a 400. When the failure is a program ingestion
+// error the envelope carries the structured position (program index,
+// field, assembler line/column) alongside the rendered message, so
+// clients can point at the offending source instead of parsing strings.
+func writeBadRequest(w http.ResponseWriter, err error) {
+	body := errorBody{Error: err.Error()}
+	var we *workload.Error
+	if errors.As(err, &we) {
+		body.Program, body.Field, body.Line, body.Col = we.Index, we.Field, we.Line, we.Col
+	}
+	writeJSON(w, http.StatusBadRequest, body)
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -72,7 +86,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := req.Resolve()
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeBadRequest(w, err)
 		return
 	}
 	sts, _, err := s.admit([]*runner.Job{job}, []jobMeta{{priority: req.Priority, client: req.Client}})
@@ -107,8 +121,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Jobs {
 		j, err := req.Jobs[i].Resolve()
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{
-				Error: fmt.Sprintf("serve: job %d: %v", i, err)})
+			writeBadRequest(w, fmt.Errorf("serve: job %d: %w", i, err))
 			return
 		}
 		jobs = append(jobs, j)

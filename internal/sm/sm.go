@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"fmt"
 	"math/bits"
 
 	"finereg/internal/isa"
@@ -192,8 +193,14 @@ func New(id int, cfg Config, hier *mem.Hierarchy, disp Dispatcher, pol Policy) *
 }
 
 // BindKernel prepares the SM to run kernel k and lets the policy populate
-// its initial CTAs.
+// its initial CTAs. The SM must be drained: stream segments rebind only
+// after the previous kernel's CTAs have all retired, so a resident CTA
+// here means the run loop terminated early and the old kernel's state
+// would be silently reinterpreted under the new program's tables.
 func (s *SM) BindKernel(k *kernels.Kernel, now int64) {
+	if len(s.residents) > 0 {
+		panic(fmt.Sprintf("sm: SM%d rebound with %d resident CTAs", s.ID, len(s.residents)))
+	}
 	s.meta = newProgMeta(k)
 	s.statLastT = now
 	s.residentInt, s.activeInt, s.threadsInt = 0, 0, 0

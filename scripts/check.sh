@@ -41,6 +41,20 @@ go test -race -count=1 -timeout 10m ./internal/fleet/...
 # race pass above and must run here).
 go test -race -count=1 -timeout 10m -run 'Progress|Telemetry|Attribution' \
 	./internal/gpu/ ./internal/telemetry/ ./internal/runner/ ./internal/serve/ ./internal/audit/diff/
+# Ingestion gate: user-program workloads end to end under the race
+# detector — loader determinism, structured admission errors, a program
+# submitted over HTTP byte-identical to the in-process run, stream
+# segments and MPS-partitioned runs through runner/serve/fleet, and the
+# partition instruction-count-vs-solo acceptance check — then the worked
+# example through the CLI (the same loader as the service path), audited,
+# as both a solo program and a partitioned concurrent stream.
+go test -race -count=1 -timeout 10m -run 'TestLoad|TestProgram|TestStreamJob|TestConcurrentJob' \
+	./internal/workload/ ./internal/runner/ ./internal/serve/
+go test -race -count=1 -timeout 10m -run 'TestFleetRunsProgramJobs' ./internal/fleet/
+go test -race -count=1 -timeout 10m -run 'TestMPS|TestRunStream|TestRunConcurrent|TestValidatePartitions|TestPartitioned' \
+	./internal/experiments/ ./internal/gpu/
+go run ./cmd/finereg-sim -program examples/saxpy.sasm -sms 2 -policy baseline,finereg -audit >/dev/null
+go run ./cmd/finereg-sim -stream examples/saxpy.sasm,bench:CS -partitions 1,1 -sms 2 -policy baseline -audit >/dev/null
 # Sharded-core gate: the golden matrix byte-identity proof at shards
 # 1 (TestGoldenCycleExactness), 2, and 4 (TestGoldenShardedExecution)
 # under the race detector — the sharded cells run untraced, so batched
